@@ -1,0 +1,88 @@
+// Ablation (§5 "Routing schemes"): shortest-path vs min-max-utilization vs
+// throughput-optimal routing on a designed cISP. The paper reports that
+// the alternative schemes absorb higher loads with near-zero loss but pay
+// ~10% extra latency on average.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cisp;
+  bench::banner("ablation_routing",
+                "§5 routing schemes: latency vs load tolerance");
+
+  const auto scenario = bench::us_scenario();
+  const std::size_t centers = bench::maybe_fast(40, 25);
+  const auto problem = design::city_city_problem(scenario, 2000.0, centers);
+  const auto topo = design::solve_greedy(problem.input);
+  design::CapacityParams cap;
+  cap.aggregate_gbps = 100.0;
+  const auto plan = design::plan_capacity(problem.input, topo, problem.links,
+                                          scenario.tower_graph.towers, cap);
+
+  net::BuildOptions build;
+  build.rate_scale = bench::maybe_fast(0.05, 0.02);
+  const double sim_s = bench::maybe_fast(0.3, 0.1);
+
+  std::vector<cisp::infra::PopulationCenter> pcs = scenario.centers;
+  if (pcs.size() > centers) pcs.resize(centers);
+  const auto traffic = infra::population_product_traffic(pcs);
+
+  const std::vector<net::RoutingScheme> schemes = {
+      net::RoutingScheme::ShortestPath,
+      net::RoutingScheme::MinMaxUtilization,
+      net::RoutingScheme::ThroughputOptimal};
+
+  // Static route properties at design load.
+  Table props("routing scheme properties (offline, design load)",
+              {"scheme", "mean_path_latency_ms", "latency_vs_SP_%",
+               "predicted_max_util"});
+  double sp_latency = 0.0;
+  for (const auto scheme : schemes) {
+    auto instance = net::build_sim(problem.input, plan, build);
+    const auto demands = net::demands_from_traffic(traffic, cap.aggregate_gbps,
+                                                   build.rate_scale);
+    const auto result = net::install_routes(*instance.network, instance.view,
+                                            demands, scheme);
+    if (scheme == net::RoutingScheme::ShortestPath) {
+      sp_latency = result.mean_path_latency_s;
+    }
+    props.add_row(
+        {net::to_string(scheme), fmt(result.mean_path_latency_s * 1000.0, 3),
+         fmt((result.mean_path_latency_s / sp_latency - 1.0) * 100.0, 1),
+         fmt(result.max_link_utilization, 2)});
+  }
+  props.print(std::cout);
+
+  // Packet-level loss at increasing loads.
+  Table loss("loss rate (%) vs load by scheme",
+             {"load_%", "shortest-path", "min-max-util", "throughput-opt"});
+  Table delay("mean delay (ms) vs load by scheme",
+              {"load_%", "shortest-path", "min-max-util", "throughput-opt"});
+  for (int load = 40; load <= 120; load += 20) {
+    std::vector<std::string> loss_row = {std::to_string(load)};
+    std::vector<std::string> delay_row = {std::to_string(load)};
+    for (const auto scheme : schemes) {
+      auto instance = net::build_sim(problem.input, plan, build);
+      const auto demands = net::demands_from_traffic(
+          traffic, cap.aggregate_gbps * load / 100.0, build.rate_scale);
+      net::install_routes(*instance.network, instance.view, demands, scheme);
+      const auto sources =
+          net::attach_udp_workload(instance, demands, 0.0, sim_s, 33);
+      instance.sim->run_until(sim_s + 0.2);
+      loss_row.push_back(fmt(instance.monitor.loss_rate() * 100.0, 3));
+      delay_row.push_back(fmt(instance.monitor.mean_delay_s() * 1000.0, 3));
+    }
+    loss.add_row(loss_row);
+    delay.add_row(delay_row);
+  }
+  delay.print(std::cout);
+  loss.print(std::cout);
+  loss.maybe_write_csv("ablation_routing_loss");
+  std::cout << "\nPaper shape: §5 reports the alternative schemes absorb "
+               "higher loads at ~10%\nextra latency. Here min-max-utilization "
+               "pays a small latency premium and\nwidest-path (our "
+               "throughput-optimal stand-in) a large one, while both keep\n"
+               "utilization far below shortest-path's bottleneck — same "
+               "trade, different\noperating points.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation (§6.1's closing remark): binary link failures vs adaptive
+// bandwidth degradation. "A more sophisticated analysis allowing dynamic
+// link bandwidth adjustment rather than binary failures can only improve
+// these numbers" — this bench quantifies the improvement.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cisp;
+  bench::banner("ablation_weather_adaptive",
+                "§6.1 binary outages vs adaptive modulation");
+
+  const auto scenario = bench::us_scenario();
+  const std::size_t centers = bench::maybe_fast(60, 25);
+  const auto problem = design::city_city_problem(scenario, 3000.0, centers);
+  const auto topo = design::solve_greedy(problem.input);
+  const weather::RainField rain(scenario.region.box);
+
+  weather::StudyParams binary;
+  binary.days = bench::maybe_fast(365, 60);
+  weather::StudyParams adaptive = binary;
+  adaptive.adaptive_bandwidth = true;
+
+  const auto binary_result = weather::run_weather_study(
+      problem, topo, scenario.tower_graph.towers, rain, binary);
+  const auto adaptive_result = weather::run_weather_study(
+      problem, topo, scenario.tower_graph.towers, rain, adaptive);
+
+  Table table("binary vs adaptive outage model (medians across pairs)",
+              {"metric", "binary", "adaptive", "fiber"});
+  table.add_row({"best-day stretch",
+                 fmt(binary_result.best_stretch.median(), 3),
+                 fmt(adaptive_result.best_stretch.median(), 3),
+                 fmt(binary_result.fiber_stretch.median(), 3)});
+  table.add_row({"99th-percentile-day stretch",
+                 fmt(binary_result.p99_stretch.median(), 3),
+                 fmt(adaptive_result.p99_stretch.median(), 3), "-"});
+  table.add_row({"worst-day stretch",
+                 fmt(binary_result.worst_stretch.median(), 3),
+                 fmt(adaptive_result.worst_stretch.median(), 3), "-"});
+  table.add_row({"mean links down (%)",
+                 fmt(binary_result.mean_links_down_fraction * 100.0, 2),
+                 fmt(adaptive_result.mean_links_down_fraction * 100.0, 2),
+                 "-"});
+  table.add_row({"days with any outage",
+                 std::to_string(binary_result.days_with_any_outage),
+                 std::to_string(adaptive_result.days_with_any_outage), "-"});
+  table.print(std::cout);
+  table.maybe_write_csv("ablation_weather_adaptive");
+  std::cout << "\nReading: adaptive modulation keeps rain-grazed links alive "
+               "at reduced\nbandwidth, so fewer reroutes happen and worst-day "
+               "stretch improves — the\npaper's conjecture, quantified.\n";
+  return 0;
+}

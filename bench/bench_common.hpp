@@ -1,0 +1,47 @@
+#pragma once
+// Shared plumbing for the per-figure benchmark binaries: scenario
+// construction with a CISP_FAST escape hatch (coarse substrates for quick
+// smoke runs), and uniform headers.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cisp.hpp"
+
+namespace cisp::bench {
+
+/// True when the CISP_FAST env var asks for the coarse (smoke-test) mode.
+inline bool fast_mode() {
+  const char* v = std::getenv("CISP_FAST");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// Default US scenario for benches: full fidelity unless CISP_FAST is set.
+inline design::Scenario us_scenario(design::ScenarioOptions options = {}) {
+  options.fast = options.fast || fast_mode();
+  if (options.fast && options.top_cities > 80) options.top_cities = 80;
+  return design::build_us_scenario(options);
+}
+
+inline design::Scenario eu_scenario(design::ScenarioOptions options = {}) {
+  options.fast = options.fast || fast_mode();
+  if (options.fast && options.top_cities > 80) options.top_cities = 80;
+  return design::build_europe_scenario(options);
+}
+
+/// Scales a sweep count down in fast mode.
+inline int maybe_fast(int full, int fast) { return fast_mode() ? fast : full; }
+inline double maybe_fast(double full, double fast) {
+  return fast_mode() ? fast : full;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n";
+  if (fast_mode()) std::cout << "[CISP_FAST smoke mode: coarse substrates]\n";
+  std::cout << "==============================================================\n";
+}
+
+}  // namespace cisp::bench

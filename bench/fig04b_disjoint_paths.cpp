@@ -1,0 +1,50 @@
+// Fig. 4(b): stretch of successive tower-disjoint purely-MW paths for the
+// long transcontinental link (the paper's red Illinois-California link).
+// After 20 rounds of removing every used tower, stretch stays far below
+// the fiber route's inflation.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cisp;
+  bench::banner("fig04b_disjoint_paths",
+                "Fig. 4(b) tower-disjoint MW paths, IL-CA");
+
+  const auto scenario = bench::us_scenario();
+  // The paper's link runs ~2,700 km from Illinois to California.
+  const geo::LatLon chicago{41.88, -87.63};
+  const geo::LatLon los_angeles{34.05, -118.24};
+  const double geodesic = geo::distance_km(chicago, los_angeles);
+
+  const std::size_t iterations = bench::maybe_fast(20, 8);
+  const auto lengths = design::tower_disjoint_path_lengths(
+      scenario.tower_graph, chicago, los_angeles, iterations);
+
+  // Fiber reference between the same endpoints.
+  const auto problem = design::city_city_problem(scenario, 0.0);
+  std::size_t chi = 0;
+  std::size_t la = 0;
+  for (std::size_t i = 0; i < problem.names.size(); ++i) {
+    if (problem.names[i] == "Chicago IL") chi = i;
+    if (problem.names[i] == "Los Angeles CA") la = i;
+  }
+  const double fiber_stretch =
+      problem.input.fiber_effective_km(chi, la) /
+      problem.input.geodesic_km(chi, la);
+
+  Table table("Fig 4(b): stretch of k-th tower-disjoint MW path",
+              {"iteration", "path_km", "stretch_over_geodesic"});
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    table.add_row({std::to_string(i + 1), fmt(lengths[i], 0),
+                   fmt(lengths[i] / geodesic, 3)});
+  }
+  table.print(std::cout);
+  table.maybe_write_csv("fig04b_disjoint_paths");
+  std::cout << "\ngeodesic = " << fmt(geodesic, 0)
+            << " km; fiber latency stretch for the same pair = "
+            << fmt(fiber_stretch, 2)
+            << " (paper: 1.75)\nPaper shape: the first path is ~1.02x; "
+               "stretch grows slowly with disjointness\nand even the last "
+               "path beats fiber by a wide margin.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 5: packet-level behaviour under population perturbations. The
+// network is designed and provisioned for the population-product traffic
+// matrix; each run then perturbs every city's population by U[1-g, 1+g]
+// and sweeps the aggregate input rate. Mean delay stays nearly flat and
+// loss stays ~0 up to ~70% load even for large perturbations.
+
+#include "bench_common.hpp"
+
+namespace {
+
+/// Population-product traffic with per-center weight perturbation.
+std::vector<std::vector<double>> perturbed_traffic(
+    const std::vector<cisp::infra::PopulationCenter>& centers, double gamma,
+    std::uint64_t seed) {
+  cisp::Rng rng(seed);
+  std::vector<double> weight(centers.size());
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    weight[i] = static_cast<double>(centers[i].population) *
+                rng.uniform(1.0 - gamma, 1.0 + gamma);
+  }
+  const std::size_t n = centers.size();
+  std::vector<std::vector<double>> h(n, std::vector<double>(n, 0.0));
+  double max_entry = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        h[i][j] = weight[i] * weight[j];
+        max_entry = std::max(max_entry, h[i][j]);
+      }
+    }
+  }
+  for (auto& row : h) {
+    for (double& v : row) v /= max_entry;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cisp;
+  bench::banner("fig05_perturbation",
+                "Fig. 5 delay/loss vs load under traffic perturbation");
+
+  design::ScenarioOptions options;
+  const std::size_t max_centers = bench::maybe_fast(60, 30);
+  const auto scenario = bench::us_scenario(options);
+  const auto problem = design::city_city_problem(scenario, 3000.0, max_centers);
+  const auto topo = design::solve_greedy(problem.input);
+  design::CapacityParams cap;
+  cap.aggregate_gbps = 100.0;
+  const auto plan = design::plan_capacity(problem.input, topo, problem.links,
+                                          scenario.tower_graph.towers, cap);
+  std::cout << "sim nodes=" << problem.sites.size()
+            << " mw_links=" << plan.links.size()
+            << " design stretch=" << fmt(topo.mean_stretch, 3) << "\n\n";
+
+  net::BuildOptions build;
+  build.mw_queue_packets = 100;
+  build.rate_scale = bench::maybe_fast(0.05, 0.02);
+  const double sim_s = bench::maybe_fast(0.4, 0.15);
+
+  Table delay_table("Fig 5 (left): mean one-way delay (ms) vs load",
+                    {"load_%", "matching_TM", "gamma_0.1", "gamma_0.3",
+                     "gamma_0.5"});
+  Table loss_table("Fig 5 (right): loss rate (%) vs load",
+                   {"load_%", "matching_TM", "gamma_0.1", "gamma_0.3",
+                    "gamma_0.5"});
+
+  std::vector<cisp::infra::PopulationCenter> centers = scenario.centers;
+  if (centers.size() > max_centers) centers.resize(max_centers);
+
+  for (int load = 10; load <= 130; load += 15) {
+    std::vector<std::string> delay_row = {std::to_string(load)};
+    std::vector<std::string> loss_row = {std::to_string(load)};
+    int scenario_idx = 0;
+    for (const double gamma : {0.0, 0.1, 0.3, 0.5}) {
+      auto instance = net::build_sim(problem.input, plan, build);
+      const auto traffic =
+          gamma == 0.0
+              ? infra::population_product_traffic(centers)
+              : perturbed_traffic(centers, gamma, 1000 + scenario_idx);
+      const auto demands = net::demands_from_traffic(
+          traffic, cap.aggregate_gbps * load / 100.0, build.rate_scale);
+      net::install_routes(*instance.network, instance.view, demands,
+                          net::RoutingScheme::ShortestPath);
+      const auto sources =
+          net::attach_udp_workload(instance, demands, 0.0, sim_s, 77);
+      instance.sim->run_until(sim_s + 0.2);
+      delay_row.push_back(fmt(instance.monitor.mean_delay_s() * 1000.0, 3));
+      loss_row.push_back(fmt(instance.monitor.loss_rate() * 100.0, 3));
+      ++scenario_idx;
+    }
+    delay_table.add_row(delay_row);
+    loss_table.add_row(loss_row);
+  }
+  delay_table.print(std::cout);
+  loss_table.print(std::cout);
+  delay_table.maybe_write_csv("fig05_delay");
+  loss_table.maybe_write_csv("fig05_loss");
+  std::cout << "\nPaper shape: delay moves by well under a millisecond and "
+               "loss stays ~0 until\nthe load approaches the provisioned "
+               "capacity; loss then rises. Our k^2\nprovisioning leaves "
+               "slightly more headroom than the paper's, so the onset\nsits "
+               "near/above 100% rather than the paper's ~70-85%.\n";
+  return 0;
+}

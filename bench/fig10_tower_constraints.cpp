@@ -1,0 +1,74 @@
+// Fig. 10 + §6.5: sensitivity to tower height availability and antenna
+// range. Restricting the usable mount height (fraction of tower height)
+// and the maximum hop range eliminates hops and towers, raising cost and
+// stretch — but by at most ~10% even under the harshest combination.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cisp;
+  bench::banner("fig10_tower_constraints",
+                "Fig. 10 / §6.5 range and usable-height sensitivity");
+
+  design::ScenarioOptions options;
+  options.fast = bench::fast_mode();
+  if (options.fast) options.top_cities = 80;
+  auto scenario = design::build_us_scenario(options);
+
+  // The paper's combinations, ordered as in the figure.
+  struct Config {
+    double range_km;
+    double height_fraction;
+  };
+  const std::vector<Config> configs = {
+      {100.0, 1.0}, {100.0, 0.85}, {80.0, 1.0},  {100.0, 0.65}, {70.0, 1.0},
+      {100.0, 0.45}, {70.0, 0.45}, {60.0, 1.0},  {60.0, 0.65},  {60.0, 0.45},
+  };
+  std::vector<design::HopParams> hop_configs;
+  for (const auto& c : configs) {
+    design::HopParams hop = scenario.options.hop;
+    hop.max_range_km = c.range_km;
+    hop.usable_height_fraction = c.height_fraction;
+    hop_configs.push_back(hop);
+  }
+  // One shared pass over the terrain profiles for all 10 configurations.
+  const auto graphs = design::build_tower_graphs_multi(
+      *scenario.raster, scenario.tower_graph.towers, hop_configs);
+
+  const std::size_t centers = bench::maybe_fast(60, 30);
+  const double budget = 3000.0;
+  double base_cost = 0.0;
+  double base_stretch = 0.0;
+
+  Table table("Fig 10: % increase in cost and stretch vs (100 km, 1.0)",
+              {"range_km", "height_fraction", "feasible_hops", "stretch",
+               "usd_per_gb", "stretch_increase_%", "cost_increase_%"});
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    design::Scenario variant = scenario;
+    variant.tower_graph = graphs[c];
+    const auto problem = design::city_city_problem(variant, budget, centers);
+    const auto topo = design::solve_greedy(problem.input);
+    design::CapacityParams cap;
+    cap.aggregate_gbps = 100.0;
+    const auto plan = design::plan_capacity(problem.input, topo, problem.links,
+                                            variant.tower_graph.towers, cap);
+    const auto cost = design::cost_of(plan);
+    if (c == 0) {
+      base_cost = cost.usd_per_gb;
+      base_stretch = topo.mean_stretch;
+    }
+    table.add_row({fmt(configs[c].range_km, 0),
+                   fmt(configs[c].height_fraction, 2),
+                   std::to_string(graphs[c].feasible_hops),
+                   fmt(topo.mean_stretch, 3), fmt(cost.usd_per_gb, 3),
+                   fmt((topo.mean_stretch / base_stretch - 1.0) * 100.0, 1),
+                   fmt((cost.usd_per_gb / base_cost - 1.0) * 100.0, 1)});
+  }
+  table.print(std::cout);
+  table.maybe_write_csv("fig10_tower_constraints");
+  std::cout << "\nPaper shape: constraints cut feasible hops monotonically; "
+               "cost rises at most\n~11% and stretch at most ~10% even at "
+               "(60 km, 0.45) — the conclusion that\ntower siting problems "
+               "do not change viability.\n";
+  return 0;
+}

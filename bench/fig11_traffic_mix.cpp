@@ -1,0 +1,81 @@
+// Fig. 11 + §6.4: traffic-mix mismatch. A cISP designed and provisioned
+// for a city-city : city-DC : DC-DC blend of 4:3:3 is loaded with
+// deviating mixes (5:3:3, 4:3:4, 4:4:3). Mean delay moves by <0.05 ms and
+// loss stays ~0 up to ~70% of design capacity.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cisp;
+  bench::banner("fig11_traffic_mix", "Fig. 11 delay/loss under mix deviation");
+
+  const auto scenario = bench::us_scenario();
+  const std::size_t centers = bench::maybe_fast(50, 25);
+  const double budget = 3000.0;
+
+  // Design for 4:3:3.
+  const auto designed =
+      design::mixed_problem(scenario, budget, 4.0, 3.0, 3.0, centers);
+  const auto topo = design::solve_greedy(designed.input);
+  design::CapacityParams cap;
+  cap.aggregate_gbps = 100.0;
+  const auto plan = design::plan_capacity(designed.input, topo, designed.links,
+                                          scenario.tower_graph.towers, cap);
+  std::cout << "design: stretch=" << fmt(topo.mean_stretch, 3)
+            << " mw_links=" << plan.links.size() << "\n\n";
+
+  net::BuildOptions build;
+  build.mw_queue_packets = 100;
+  build.rate_scale = bench::maybe_fast(0.05, 0.02);
+  const double sim_s = bench::maybe_fast(0.4, 0.15);
+
+  struct Mix {
+    const char* name;
+    double cc, cd, dd;
+  };
+  const std::vector<Mix> mixes = {
+      {"4:3:3", 4, 3, 3}, {"4:4:3", 4, 4, 3}, {"5:3:3", 5, 3, 3},
+      {"4:3:4", 4, 3, 4}};
+
+  Table delay_table("Fig 11 (left): mean one-way delay (ms) vs load",
+                    {"load_%", "4:3:3", "4:4:3", "5:3:3", "4:3:4"});
+  Table loss_table("Fig 11 (right): loss rate (%) vs load",
+                   {"load_%", "4:3:3", "4:4:3", "5:3:3", "4:3:4"});
+  for (int load = 10; load <= 130; load += 15) {
+    std::vector<std::string> delay_row = {std::to_string(load)};
+    std::vector<std::string> loss_row = {std::to_string(load)};
+    for (const auto& mix : mixes) {
+      // Traffic matrix for this mix over the SAME sites as the design.
+      const auto mixed = design::mixed_problem(scenario, budget, mix.cc,
+                                               mix.cd, mix.dd, centers);
+      std::vector<std::vector<double>> traffic(
+          designed.input.site_count(),
+          std::vector<double>(designed.input.site_count(), 0.0));
+      for (std::size_t i = 0; i < traffic.size(); ++i) {
+        for (std::size_t j = 0; j < traffic.size(); ++j) {
+          traffic[i][j] = mixed.input.traffic(i, j);
+        }
+      }
+      auto instance = net::build_sim(designed.input, plan, build);
+      const auto demands = net::demands_from_traffic(
+          traffic, cap.aggregate_gbps * load / 100.0, build.rate_scale);
+      net::install_routes(*instance.network, instance.view, demands,
+                          net::RoutingScheme::ShortestPath);
+      const auto sources =
+          net::attach_udp_workload(instance, demands, 0.0, sim_s, 55);
+      instance.sim->run_until(sim_s + 0.2);
+      delay_row.push_back(fmt(instance.monitor.mean_delay_s() * 1000.0, 3));
+      loss_row.push_back(fmt(instance.monitor.loss_rate() * 100.0, 3));
+    }
+    delay_table.add_row(delay_row);
+    loss_table.add_row(loss_row);
+  }
+  delay_table.print(std::cout);
+  loss_table.print(std::cout);
+  delay_table.maybe_write_csv("fig11_delay");
+  loss_table.maybe_write_csv("fig11_loss");
+  std::cout << "\nPaper shape: across mixes the delay curves sit within a "
+               "few hundredths of a\nmillisecond of each other until ~70% "
+               "load; city-city deviations (5:3:3)\nmatter most.\n";
+  return 0;
+}

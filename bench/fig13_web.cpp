@@ -1,0 +1,76 @@
+// Fig. 13: Web page load times (a) and object load times (b) under the
+// Mahimahi-style replay: baseline, cISP (RTT x 0.33 both directions), and
+// cISP-selective (client->server direction only — §7.2's 8.5%-of-bytes
+// variant).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cisp;
+  bench::banner("fig13_web", "Fig. 13(a) PLT CDF, 13(b) OLT CDF");
+
+  const auto corpus = apps::generate_corpus();
+  Samples plt_base;
+  Samples plt_cisp;
+  Samples plt_sel;
+  Samples olt_base;
+  Samples olt_cisp;
+  Samples olt_sel;
+  std::size_t up_bytes = 0;
+  std::size_t total_bytes = 0;
+  for (const auto& page : corpus) {
+    apps::ReplayParams base;
+    apps::ReplayParams cisp_both;
+    cisp_both.up_scale = 0.33;
+    cisp_both.down_scale = 0.33;
+    apps::ReplayParams selective;
+    selective.up_scale = 0.33;
+    const auto rb = apps::replay_page(page, base);
+    const auto rc = apps::replay_page(page, cisp_both);
+    const auto rs = apps::replay_page(page, selective);
+    plt_base.add(rb.page_load_time_ms);
+    plt_cisp.add(rc.page_load_time_ms);
+    plt_sel.add(rs.page_load_time_ms);
+    olt_base.add_all(rb.object_load_times_ms.values());
+    olt_cisp.add_all(rc.object_load_times_ms.values());
+    olt_sel.add_all(rs.object_load_times_ms.values());
+    up_bytes += rb.bytes_up;
+    total_bytes += rb.bytes_up + rb.bytes_down;
+  }
+
+  const auto print_cdf = [](const char* title, Samples& base, Samples& cisp,
+                            Samples& sel, const char* slug) {
+    Table t(title, {"percentile", "baseline_ms", "cISP_ms", "cISP_selective_ms"});
+    for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+      t.add_row({fmt(p, 0), fmt(base.percentile(p), 0),
+                 fmt(cisp.percentile(p), 0), fmt(sel.percentile(p), 0)});
+    }
+    t.print(std::cout);
+    t.maybe_write_csv(slug);
+  };
+  print_cdf("Fig 13(a): page load time CDF (80 pages)", plt_base, plt_cisp,
+            plt_sel, "fig13a_plt");
+  print_cdf("Fig 13(b): object load time CDF", olt_base, olt_cisp, olt_sel,
+            "fig13b_olt");
+
+  Table summary("Fig 13 summary", {"metric", "measured", "paper"});
+  summary.add_row(
+      {"median PLT reduction (cISP)",
+       fmt((1.0 - plt_cisp.median() / plt_base.median()) * 100.0, 1) + "%",
+       "31% (302 ms)"});
+  summary.add_row(
+      {"median PLT reduction (selective)",
+       fmt((1.0 - plt_sel.median() / plt_base.median()) * 100.0, 1) + "%",
+       "27% (265 ms)"});
+  summary.add_row(
+      {"median OLT reduction (cISP)",
+       fmt((1.0 - olt_cisp.median() / olt_base.median()) * 100.0, 1) + "%",
+       "49%"});
+  summary.add_row(
+      {"bytes riding cISP (selective)",
+       fmt(static_cast<double>(up_bytes) / total_bytes * 100.0, 1) + "%",
+       "8.5%"});
+  summary.print(std::cout);
+  summary.maybe_write_csv("fig13_summary");
+  return 0;
+}

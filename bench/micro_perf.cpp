@@ -1,0 +1,155 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// the hop-clearance test (Step 1's hot loop), Dijkstra over the tower
+// graph, the simplex solver, the incremental stretch evaluator (Step 2's
+// hot loop), and raw DES packet forwarding.
+
+#include <benchmark/benchmark.h>
+
+#include "cisp.hpp"
+
+namespace {
+using namespace cisp;
+
+const terrain::Region& bench_region() {
+  static const terrain::Region region = [] {
+    auto r = terrain::contiguous_us();
+    return r;
+  }();
+  return region;
+}
+
+const terrain::RasterTerrain& bench_raster() {
+  static const terrain::RasterTerrain raster = [] {
+    const auto& region = bench_region();
+    return terrain::RasterTerrain(region.make_terrain(),
+                                  {.lat_min = 38.0, .lat_max = 42.0,
+                                   .lon_min = -106.0, .lon_max = -98.0},
+                                  0.02);
+  }();
+  return raster;
+}
+
+void BM_TerrainProfile(benchmark::State& state) {
+  const auto& raster = bench_raster();
+  const geo::LatLon a{39.5, -105.0};
+  const geo::LatLon b{39.9, -104.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(terrain::build_profile(raster, a, b, 0.5));
+  }
+}
+BENCHMARK(BM_TerrainProfile);
+
+void BM_HopClearance(benchmark::State& state) {
+  const auto& raster = bench_raster();
+  const auto profile = terrain::build_profile(raster, {39.5, -105.0},
+                                              {39.9, -104.0}, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf::evaluate_clearance(profile, 90.0, 90.0));
+  }
+}
+BENCHMARK(BM_HopClearance);
+
+void BM_RainAttenuation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf::hop_rain_attenuation_db(80.0, 45.0, 11.0));
+  }
+}
+BENCHMARK(BM_RainAttenuation);
+
+graphs::Graph random_graph(std::size_t nodes, std::size_t edges) {
+  Rng rng(7);
+  graphs::Graph g(nodes);
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto a = static_cast<graphs::NodeId>(rng.uniform_index(nodes));
+    const auto b = static_cast<graphs::NodeId>(rng.uniform_index(nodes));
+    if (a != b) g.add_edge(a, b, rng.uniform(1.0, 100.0));
+  }
+  return g;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)),
+                              static_cast<std::size_t>(state.range(0)) * 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphs::dijkstra(g, 0));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(1000)->Arg(10000);
+
+void BM_SimplexTransport(benchmark::State& state) {
+  // A dense random transportation LP.
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  lp::LinearProgram problem;
+  problem.num_vars = m * m;
+  problem.objective.resize(m * m);
+  for (auto& c : problem.objective) c = rng.uniform(1.0, 10.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> supply(m * m, 0.0);
+    std::vector<double> demand(m * m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      supply[i * m + j] = 1.0;
+      demand[j * m + i] = 1.0;
+    }
+    problem.add_less_eq(std::move(supply), 10.0);
+    problem.add_greater_eq(std::move(demand), 5.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(problem));
+  }
+}
+BENCHMARK(BM_SimplexTransport)->Arg(6)->Arg(12);
+
+void BM_StretchEvaluatorAddLink(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      geod[i][j] = geod[j][i] = rng.uniform(100.0, 4000.0);
+    }
+  }
+  auto fiber = geod;
+  for (auto& row : fiber) {
+    for (double& v : row) v *= 1.9;
+  }
+  std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 1.0));
+  for (std::size_t i = 0; i < n; ++i) traffic[i][i] = 0.0;
+  std::vector<design::CandidateLink> cands;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    cands.push_back({i, i + 1, geod[i][i + 1] * 1.05, 10.0});
+  }
+  const design::DesignInput input(geod, fiber, traffic, cands, 1e9);
+  for (auto _ : state) {
+    design::StretchEvaluator eval(input);
+    for (std::size_t l = 0; l < cands.size(); ++l) eval.add_link(l);
+    benchmark::DoNotOptimize(eval.mean_stretch());
+  }
+}
+BENCHMARK(BM_StretchEvaluatorAddLink)->Arg(60)->Arg(120);
+
+void BM_DesPacketForwarding(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Simulator sim;
+    net::Network network(sim, 2);
+    const std::size_t l = network.add_duplex_link(0, 1, 1e10, 0.001);
+    network.node(0).set_route(0, 1, &network.link(l));
+    std::uint64_t delivered = 0;
+    network.node(1).set_local_deliver([&](const net::Packet&) { ++delivered; });
+    for (int i = 0; i < 10000; ++i) {
+      net::Packet p;
+      p.src = 0;
+      p.dst = 1;
+      p.size_bytes = 500;
+      network.inject(p);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DesPacketForwarding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

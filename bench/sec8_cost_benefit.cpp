@@ -1,0 +1,44 @@
+// §8: the cost-benefit table. Value per GB for web search, e-commerce and
+// gaming — each computed from the paper's cited constants — against the
+// $0.81/GB cost estimate from Fig. 3's design.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cisp;
+  bench::banner("sec8_cost_benefit", "§8 value-per-GB vs cost-per-GB");
+
+  Table table("§8: value per GB by application",
+              {"application", "assumption", "value_per_gb", "paper"});
+  table.add_row({"web search", "+200 ms PLT win",
+                 fmt_money(apps::web_search_value_per_gb(200.0)), "$1.84"});
+  table.add_row({"web search", "+400 ms PLT win",
+                 fmt_money(apps::web_search_value_per_gb(400.0)), "$3.74"});
+  const auto ecom = apps::ecommerce_value_per_gb(200.0);
+  table.add_row({"e-commerce", "200 ms, 1%/100ms conversion",
+                 fmt_money(ecom.low_usd_per_gb), "$3.26"});
+  table.add_row({"e-commerce", "200 ms, 7%/100ms conversion",
+                 fmt_money(ecom.high_usd_per_gb), "$22.82"});
+  table.add_row({"gaming", "$4/mo VPN, 8 h/day at 10 Kbps",
+                 fmt_money(apps::gaming_value_per_gb()), ">= $3.70"});
+  table.print(std::cout);
+  table.maybe_write_csv("sec8_value");
+
+  Table detail("§8 supporting numbers", {"quantity", "measured", "paper"});
+  detail.add_row({"search profit/yr at +200 ms",
+                  "$" + fmt(apps::web_search_profit_usd_per_year(200.0) / 1e6, 0) +
+                      "M",
+                  "$87M"});
+  detail.add_row({"search profit/yr at +400 ms",
+                  "$" + fmt(apps::web_search_profit_usd_per_year(400.0) / 1e6, 0) +
+                      "M",
+                  "$177M"});
+  detail.add_row({"gaming GB per player-month",
+                  fmt(apps::gaming_gb_per_month(), 2), "1.08"});
+  detail.print(std::cout);
+
+  std::cout << "\nBottom line (paper §8): every value estimate clears the "
+               "$0.81/GB cost —\nthe economic argument for cISP-like designs "
+               "holds with margin.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Application-level benefits (§7): what a speed-of-light network does for
+// online gaming and web browsing, using the library's application models.
+
+#include <iostream>
+
+#include "cisp.hpp"
+
+int main() {
+  using namespace cisp;
+
+  std::cout << "== gaming (thin client with speculation, §7.1) ==\n";
+  Table gaming("frame time vs distance",
+               {"route", "conv_rtt_ms", "conventional_ms", "augmented_ms"});
+  struct Route {
+    const char* name;
+    double rtt_ms;
+  };
+  for (const Route& r : {Route{"same metro", 10.0},
+                         Route{"NYC <-> Chicago", 60.0},
+                         Route{"NYC <-> LA", 140.0},
+                         Route{"transatlantic-ish", 240.0}}) {
+    const auto conv = apps::conventional_frame_time(r.rtt_ms);
+    const auto fast = apps::augmented_frame_time(r.rtt_ms);
+    gaming.add_row({r.name, fmt(r.rtt_ms, 0), fmt(conv.mean_ms, 0),
+                    fmt(fast.mean_ms, 0)});
+  }
+  gaming.print(std::cout);
+
+  std::cout << "\n== web browsing (Mahimahi-style replay, §7.2) ==\n";
+  const auto corpus = apps::generate_corpus();
+  Samples base_plt;
+  Samples cisp_plt;
+  Samples sel_plt;
+  for (const auto& page : corpus) {
+    apps::ReplayParams baseline;
+    apps::ReplayParams both;
+    both.up_scale = 0.33;
+    both.down_scale = 0.33;
+    apps::ReplayParams selective;
+    selective.up_scale = 0.33;
+    base_plt.add(apps::replay_page(page, baseline).page_load_time_ms);
+    cisp_plt.add(apps::replay_page(page, both).page_load_time_ms);
+    sel_plt.add(apps::replay_page(page, selective).page_load_time_ms);
+  }
+  std::cout << "median page load: baseline " << fmt(base_plt.median(), 0)
+            << " ms, cISP " << fmt(cisp_plt.median(), 0)
+            << " ms, selective " << fmt(sel_plt.median(), 0) << " ms\n";
+
+  std::cout << "\n== economics (§8) ==\n";
+  std::cout << "web search value:  " << fmt_money(apps::web_search_value_per_gb(200.0))
+            << " - " << fmt_money(apps::web_search_value_per_gb(400.0))
+            << " per GB\n";
+  const auto ecom = apps::ecommerce_value_per_gb(200.0);
+  std::cout << "e-commerce value:  " << fmt_money(ecom.low_usd_per_gb) << " - "
+            << fmt_money(ecom.high_usd_per_gb) << " per GB\n";
+  std::cout << "gaming value:      " << fmt_money(apps::gaming_value_per_gb())
+            << " per GB\n";
+  std::cout << "vs cISP cost:      ~$0.81 per GB (Fig. 3 design)\n";
+  return 0;
+}

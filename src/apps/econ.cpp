@@ -1,0 +1,54 @@
+#include "apps/econ.hpp"
+
+#include "util/error.hpp"
+
+namespace cisp::apps {
+
+namespace {
+constexpr double kSecondsPerYear = 365.0 * 86400.0;
+
+/// GB per year carried at a given Gbps.
+double gb_per_year(double gbps) {
+  return gbps * 1e9 / 8.0 * kSecondsPerYear / 1e9;
+}
+}  // namespace
+
+double web_search_profit_usd_per_year(double speedup_ms,
+                                      const WebSearchAssumptions& a) {
+  CISP_REQUIRE(speedup_ms >= 0.0, "negative speedup");
+  const double lost_fraction = a.search_loss_per_400ms * speedup_ms / 400.0;
+  return a.us_search_revenue_usd_per_year * lost_fraction * a.profit_factor;
+}
+
+double web_search_value_per_gb(double speedup_ms,
+                               const WebSearchAssumptions& a) {
+  return web_search_profit_usd_per_year(speedup_ms, a) /
+         gb_per_year(a.search_traffic_gbps);
+}
+
+ValueRange ecommerce_value_per_gb(double speedup_ms,
+                                  const EcommerceAssumptions& a) {
+  CISP_REQUIRE(speedup_ms >= 0.0, "negative speedup");
+  const double gb_on_cisp =
+      a.us_traffic_pb_per_year * 1e6 * a.bytes_on_cisp_fraction;
+  const double hundreds_ms = speedup_ms / 100.0;
+  ValueRange range;
+  range.low_usd_per_gb = a.us_profit_usd_per_year *
+                         a.conversion_per_100ms_low * hundreds_ms / gb_on_cisp;
+  range.high_usd_per_gb = a.us_profit_usd_per_year *
+                          a.conversion_per_100ms_high * hundreds_ms /
+                          gb_on_cisp;
+  return range;
+}
+
+double gaming_gb_per_month(const GamingAssumptions& a) {
+  // kbps * seconds-per-month of play / bits-per-GB.
+  const double seconds_per_month = a.hours_per_day * 3600.0 * 30.0;
+  return a.per_player_kbps * 1e3 * seconds_per_month / 8.0 / 1e9;
+}
+
+double gaming_value_per_gb(const GamingAssumptions& a) {
+  return a.vpn_price_usd_per_month / gaming_gb_per_month(a);
+}
+
+}  // namespace cisp::apps

@@ -1,0 +1,59 @@
+#pragma once
+// Cost-benefit analysis (§8): lower-bound estimates of cISP's value per GB
+// for web search, e-commerce and gaming, using the constants the paper
+// cites. All assumptions are explicit struct fields so sensitivity
+// analyses can vary them.
+
+namespace cisp::apps {
+
+/// Google-search economics (paper's sources: Brutlag'09, Marvin'17).
+struct WebSearchAssumptions {
+  double us_search_revenue_usd_per_year = 28.6e9;  ///< 78% of $36.7B
+  /// Queries lost per additional latency: 0.7% fewer searches per +400 ms.
+  double search_loss_per_400ms = 0.007;
+  /// Profit factor after serving costs.
+  double profit_factor = 0.885;
+  /// Latency-sensitive search traffic the paper estimates rides cISP.
+  double search_traffic_gbps = 12.0;
+};
+
+/// Added yearly profit from speeding US search up by `speedup_ms`.
+[[nodiscard]] double web_search_profit_usd_per_year(
+    double speedup_ms, const WebSearchAssumptions& a = {});
+/// Value per GB of cISP capacity used for search.
+[[nodiscard]] double web_search_value_per_gb(double speedup_ms,
+                                             const WebSearchAssumptions& a = {});
+
+/// Amazon-style e-commerce economics.
+struct EcommerceAssumptions {
+  double us_traffic_pb_per_year = 483.0;
+  double us_profit_usd_per_year = 7.9e9;
+  /// Conversion-rate sensitivity per 100 ms: 1% (low) to 7% (high).
+  double conversion_per_100ms_low = 0.01;
+  double conversion_per_100ms_high = 0.07;
+  /// Fraction of bytes that must ride cISP for the speedup (§7.2: <10%).
+  double bytes_on_cisp_fraction = 0.10;
+};
+
+struct ValueRange {
+  double low_usd_per_gb = 0.0;
+  double high_usd_per_gb = 0.0;
+};
+
+/// Value per cISP GB of a `speedup_ms` e-commerce latency win.
+[[nodiscard]] ValueRange ecommerce_value_per_gb(double speedup_ms,
+                                                const EcommerceAssumptions& a = {});
+
+/// Gaming economics: accelerated-VPN price points.
+struct GamingAssumptions {
+  double vpn_price_usd_per_month = 4.0;  ///< cheap accelerated VPN
+  double per_player_kbps = 10.0;
+  double hours_per_day = 8.0;
+};
+
+/// GB per month a full-time player pushes through cISP.
+[[nodiscard]] double gaming_gb_per_month(const GamingAssumptions& a = {});
+/// Value per GB implied by what gamers already pay.
+[[nodiscard]] double gaming_value_per_gb(const GamingAssumptions& a = {});
+
+}  // namespace cisp::apps

@@ -1,0 +1,67 @@
+#include "apps/gaming.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::apps {
+
+namespace {
+
+/// Shared input->display loop. `network_ms(hit)` gives the network
+/// component of one interaction, depending on whether speculation hit.
+template <typename NetworkFn>
+FrameTimeStats simulate(const GamingParams& params, NetworkFn network_ms) {
+  CISP_REQUIRE(params.inputs > 0, "need at least one input");
+  CISP_REQUIRE(params.tick_ms > 0.0, "tick must be positive");
+  Rng rng(params.seed);
+  Samples frame_times;
+  for (int i = 0; i < params.inputs; ++i) {
+    const bool hit = rng.chance(params.speculation_hit_rate);
+    // Input arrives uniformly within a tick; the server batches processing
+    // to tick boundaries (adds U[0, tick)).
+    const double tick_align = rng.uniform() * params.tick_ms;
+    // Processing jitter: +-20% around the nominal overhead.
+    const double processing =
+        params.processing_ms * rng.uniform(0.8, 1.2);
+    frame_times.add(network_ms(hit) + tick_align + processing);
+  }
+  FrameTimeStats stats;
+  stats.mean_ms = frame_times.mean();
+  stats.p95_ms = frame_times.percentile(95);
+  return stats;
+}
+
+}  // namespace
+
+FrameTimeStats conventional_frame_time(double conventional_rtt_ms,
+                                       const GamingParams& params) {
+  CISP_REQUIRE(conventional_rtt_ms >= 0.0, "negative RTT");
+  // Input upstream + frame downstream: one full conventional RTT, always.
+  return simulate(params,
+                  [&](bool) { return conventional_rtt_ms; });
+}
+
+FrameTimeStats augmented_frame_time(double conventional_rtt_ms,
+                                    const GamingParams& params) {
+  CISP_REQUIRE(conventional_rtt_ms >= 0.0, "negative RTT");
+  const double fast_rtt = conventional_rtt_ms * params.fast_path_factor;
+  return simulate(params, [&](bool hit) {
+    if (hit) {
+      // Input up the fast path; speculative frame data is already at the
+      // client (streamed ahead over fiber); the selector returns over the
+      // fast path. Network time = one fast-path RTT.
+      return fast_rtt;
+    }
+    // Miss: the correct frame must be fetched over the conventional path
+    // after the fast-path selector reports the miss.
+    return fast_rtt / 2.0 + conventional_rtt_ms;
+  });
+}
+
+double fat_client_rtt_ms(double conventional_rtt_ms,
+                         const GamingParams& params) {
+  CISP_REQUIRE(conventional_rtt_ms >= 0.0, "negative RTT");
+  return conventional_rtt_ms * params.fast_path_factor;
+}
+
+}  // namespace cisp::apps

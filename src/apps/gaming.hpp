@@ -1,0 +1,54 @@
+#pragma once
+// Thin-client gaming with speculative execution (§7.1, Fig. 12).
+//
+// The model reproduces the paper's Pacman experiment: the server streams,
+// over the conventional (fiber) path, pre-rendered frames for every
+// possible input (4 movement directions); the client's actual input and
+// the server's tiny "which branch happened" selector travel over the
+// low-latency path. Frame time — input to displayed output — is then
+// dominated by the fast path plus processing, as long as speculation
+// covers the input (4-way speculation covers all Pacman moves).
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace cisp::apps {
+
+struct GamingParams {
+  std::uint64_t seed = 12;
+  /// Server tick interval (frame cadence), ms.
+  double tick_ms = 16.0;
+  /// Non-network overhead per input: processing + encode + render, ms.
+  double processing_ms = 45.0;
+  /// Fraction of inputs covered by the speculation set. 4-direction
+  /// speculation covers every legal Pacman input -> 1.0; rich games
+  /// (Outatime) report ~0.9+.
+  double speculation_hit_rate = 1.0;
+  /// Low-latency path latency as a fraction of conventional (paper: 1/3).
+  double fast_path_factor = 1.0 / 3.0;
+  /// Number of simulated inputs.
+  int inputs = 2000;
+};
+
+struct FrameTimeStats {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+/// Frame time over conventional connectivity only (classic thin client:
+/// input upstream, frame downstream, plus tick alignment and processing).
+[[nodiscard]] FrameTimeStats conventional_frame_time(
+    double conventional_rtt_ms, const GamingParams& params = {});
+
+/// Frame time with the low-latency augmentation + speculation. Speculation
+/// misses fall back to a full conventional round trip.
+[[nodiscard]] FrameTimeStats augmented_frame_time(
+    double conventional_rtt_ms, const GamingParams& params = {});
+
+/// Fat-client latency comparison (§7.1): state updates simply ride the
+/// low-latency network, cutting RTT by the fast-path factor.
+[[nodiscard]] double fat_client_rtt_ms(double conventional_rtt_ms,
+                                       const GamingParams& params = {});
+
+}  // namespace cisp::apps

@@ -1,0 +1,109 @@
+#include "apps/web.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::apps {
+
+std::vector<WebPage> generate_corpus(const CorpusParams& params) {
+  CISP_REQUIRE(params.pages > 0, "empty corpus");
+  CISP_REQUIRE(params.max_depth >= 1, "pages need at least the root level");
+  Rng rng(params.seed);
+  std::vector<WebPage> corpus;
+  corpus.reserve(params.pages);
+  for (std::size_t p = 0; p < params.pages; ++p) {
+    WebPage page;
+    // Origin RTT: log-normal around ~50 ms (continental mix), 15-250 ms.
+    page.base_rtt_ms =
+        std::clamp(rng.lognormal(std::log(50.0), 0.55), 15.0, 250.0);
+    page.server_think_ms = rng.uniform(5.0, 45.0);
+    const auto count = static_cast<std::size_t>(std::clamp(
+        rng.lognormal(std::log(params.mean_objects), 0.7), 4.0, 220.0));
+    page.objects.reserve(count);
+    // Root document.
+    WebObject root;
+    root.response_bytes =
+        static_cast<std::size_t>(rng.uniform(20.0, 120.0) * 1024.0);
+    root.request_bytes = static_cast<std::size_t>(rng.uniform(400.0, 900.0));
+    root.depth = 0;
+    page.objects.push_back(root);
+    for (std::size_t i = 1; i < count; ++i) {
+      WebObject obj;
+      // Pareto sizes: mostly small assets, a heavy tail of images/scripts.
+      obj.response_bytes = static_cast<std::size_t>(
+          std::min(rng.pareto(2.0, 1.2) * 1024.0, 4.0 * 1024.0 * 1024.0));
+      obj.request_bytes = static_cast<std::size_t>(rng.uniform(350.0, 900.0));
+      // Depth: geometric-ish, bounded.
+      int depth = 1;
+      while (depth < params.max_depth && rng.chance(0.35)) ++depth;
+      obj.depth = depth;
+      page.objects.push_back(obj);
+    }
+    corpus.push_back(std::move(page));
+  }
+  return corpus;
+}
+
+ReplayResult replay_page(const WebPage& page, const ReplayParams& params) {
+  CISP_REQUIRE(!page.objects.empty(), "page without objects");
+  CISP_REQUIRE(params.parallel_connections >= 1, "need >= 1 connection");
+  const double up_ms = page.base_rtt_ms / 2.0 * params.up_scale;
+  const double down_ms = page.base_rtt_ms / 2.0 * params.down_scale;
+  const double rtt_ms = up_ms + down_ms;
+
+  ReplayResult result;
+  // DNS resolution + TCP handshake, both round trips, plus the one-off
+  // client-side parse/render overhead (unaffected by network latency).
+  double clock_ms = 2.0 * rtt_ms + params.client_page_overhead_ms;
+
+  int max_depth = 0;
+  for (const auto& obj : page.objects) max_depth = std::max(max_depth, obj.depth);
+
+  for (int depth = 0; depth <= max_depth; ++depth) {
+    std::vector<const WebObject*> level;
+    for (const auto& obj : page.objects) {
+      if (obj.depth == depth) level.push_back(&obj);
+    }
+    if (level.empty()) continue;
+    // Objects at one level fetch over `parallel_connections` pipes; each
+    // batch is one request chain.
+    const std::size_t batches =
+        (level.size() + params.parallel_connections - 1) /
+        params.parallel_connections;
+    double level_ms = 0.0;
+    for (std::size_t b = 0; b < batches; ++b) {
+      double batch_ms = 0.0;
+      for (std::size_t i = b * params.parallel_connections;
+           i < std::min(level.size(), (b + 1) * params.parallel_connections);
+           ++i) {
+        const WebObject& obj = *level[i];
+        // Request up, think, response down; large responses take extra
+        // slow-start round trips (no bandwidth cap, IW10 doubling).
+        double window = static_cast<double>(params.initial_window_bytes);
+        double extra_rounds = 0.0;
+        double remaining = static_cast<double>(obj.response_bytes);
+        while (remaining > window) {
+          remaining -= window;
+          window *= 2.0;
+          extra_rounds += 1.0;
+        }
+        const double olt = up_ms + page.server_think_ms + down_ms +
+                           extra_rounds * rtt_ms;
+        result.object_load_times_ms.add(olt);
+        batch_ms = std::max(batch_ms, olt);
+        result.bytes_up += obj.request_bytes;
+        result.bytes_down += obj.response_bytes;
+      }
+      level_ms += batch_ms;
+    }
+    clock_ms += level_ms + params.client_level_overhead_ms +
+                static_cast<double>(level.size()) * params.parse_ms_per_object;
+  }
+  result.page_load_time_ms = clock_ms;
+  return result;
+}
+
+}  // namespace cisp::apps

@@ -1,0 +1,67 @@
+#pragma once
+// Web page-load model (§7.2, Fig. 13): a Mahimahi-style replayer over a
+// synthetic corpus of pages. Each page is an object dependency tree; load
+// time is driven by RTTs (DNS + handshake + per-level request chains +
+// TCP slow-start rounds for large objects) — the paper imposed no
+// bandwidth cap, so transfer time is round-trip-bound. Latency can be
+// scaled per direction, enabling the paper's "cISP-selective" variant
+// where only client->server traffic rides the low-latency network.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace cisp::apps {
+
+/// One fetchable object.
+struct WebObject {
+  std::size_t response_bytes = 0;
+  std::size_t request_bytes = 0;
+  int depth = 0;  ///< 0 = root document; depth d needs depth d-1 parsed
+};
+
+struct WebPage {
+  std::vector<WebObject> objects;
+  double base_rtt_ms = 50.0;      ///< recorded RTT to the origin
+  double server_think_ms = 20.0;  ///< per-request server time
+};
+
+struct CorpusParams {
+  std::uint64_t seed = 80;
+  std::size_t pages = 80;      ///< paper: 80 Alexa sites
+  double mean_objects = 42.0;  ///< typical page object counts
+  int max_depth = 4;
+};
+
+/// Generates the synthetic page corpus (log-normal object counts, Pareto
+/// response sizes, geometric depths, log-normal origin RTTs).
+[[nodiscard]] std::vector<WebPage> generate_corpus(const CorpusParams& params = {});
+
+struct ReplayParams {
+  /// Multipliers on the two latency directions (paper: 0.33 for cISP on
+  /// both; 0.33 upstream only for cISP-selective).
+  double up_scale = 1.0;    ///< client -> server
+  double down_scale = 1.0;  ///< server -> client
+  int parallel_connections = 6;
+  double parse_ms_per_object = 3.0;
+  /// Client-side layout/script execution per dependency level, ms.
+  double client_level_overhead_ms = 40.0;
+  /// One-off HTML parse + initial render cost, ms.
+  double client_page_overhead_ms = 120.0;
+  /// Bytes a fresh TCP connection delivers in its first round (IW10).
+  std::size_t initial_window_bytes = 14600;
+};
+
+struct ReplayResult {
+  double page_load_time_ms = 0.0;
+  Samples object_load_times_ms;
+  std::size_t bytes_up = 0;    ///< would ride cISP under "selective"
+  std::size_t bytes_down = 0;
+};
+
+/// Replays one page under the latency manipulation.
+[[nodiscard]] ReplayResult replay_page(const WebPage& page,
+                                       const ReplayParams& params = {});
+
+}  // namespace cisp::apps

@@ -1,0 +1,160 @@
+#include "design/capacity.hpp"
+
+#include "design/parallel_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geo/geodesic.hpp"
+#include "geo/spatial_index.hpp"
+#include "graph/dijkstra.hpp"
+#include "util/error.hpp"
+
+namespace cisp::design {
+
+namespace {
+
+/// Site-level routing graph: fiber complete graph + built MW links, with a
+/// record of which edge ids are MW links and which candidate they map to.
+struct RoutingGraph {
+  graphs::Graph graph{0};
+  std::unordered_map<graphs::EdgeId, std::size_t> edge_to_link;  ///< plan idx
+};
+
+RoutingGraph build_routing_graph(const DesignInput& input,
+                                 const std::vector<LinkProvision>& links) {
+  const std::size_t n = input.site_count();
+  RoutingGraph rg;
+  rg.graph = graphs::Graph(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      rg.graph.add_undirected(static_cast<graphs::NodeId>(i),
+                              static_cast<graphs::NodeId>(j),
+                              input.fiber_effective_km(i, j));
+    }
+  }
+  for (std::size_t p = 0; p < links.size(); ++p) {
+    const auto& link = links[p];
+    const auto first = rg.graph.add_undirected(
+        static_cast<graphs::NodeId>(link.site_a),
+        static_cast<graphs::NodeId>(link.site_b),
+        input.candidates()[link.candidate_index].mw_km);
+    rg.edge_to_link[first] = p;
+    rg.edge_to_link[first + 1] = p;
+  }
+  return rg;
+}
+
+}  // namespace
+
+CapacityPlan plan_capacity(const DesignInput& input, const Topology& topology,
+                           const std::vector<SiteLink>& site_links,
+                           const std::vector<infra::Tower>& towers,
+                           const CapacityParams& params) {
+  CISP_REQUIRE(params.aggregate_gbps > 0.0, "aggregate demand must be positive");
+  CISP_REQUIRE(params.series_unit_gbps > 0.0, "series capacity must be positive");
+
+  // Index engineered links by site pair.
+  std::unordered_map<std::uint64_t, const SiteLink*> by_pair;
+  for (const SiteLink& l : site_links) {
+    if (!l.feasible) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(l.site_a, l.site_b)) << 32) |
+        std::max(l.site_a, l.site_b);
+    by_pair[key] = &l;
+  }
+
+  CapacityPlan plan;
+  plan.aggregate_gbps = params.aggregate_gbps;
+  for (const std::size_t cand_idx : topology.links) {
+    const CandidateLink& cand = input.candidates()[cand_idx];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(cand.site_a, cand.site_b)) << 32) |
+        std::max(cand.site_a, cand.site_b);
+    CISP_REQUIRE(by_pair.count(key) > 0,
+                 "built candidate has no engineered site link");
+    LinkProvision prov;
+    prov.candidate_index = cand_idx;
+    prov.site_a = cand.site_a;
+    prov.site_b = cand.site_b;
+    prov.hops = by_pair[key]->tower_path.size() > 0
+                    ? by_pair[key]->tower_path.size() - 1
+                    : 0;
+    plan.links.push_back(prov);
+  }
+
+  // Route scaled demands over shortest effective-km paths.
+  const RoutingGraph rg = build_routing_graph(input, plan.links);
+  const std::size_t n = input.site_count();
+  double traffic_sum = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = s + 1; t < n; ++t) {
+      traffic_sum += input.traffic(s, t) + input.traffic(t, s);
+    }
+  }
+  CISP_REQUIRE(traffic_sum > 0.0, "zero traffic");
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto tree = graphs::dijkstra(rg.graph, static_cast<graphs::NodeId>(s));
+    for (std::size_t t = s + 1; t < n; ++t) {
+      const double demand = (input.traffic(s, t) + input.traffic(t, s)) /
+                            traffic_sum * params.aggregate_gbps;
+      if (demand <= 0.0) continue;
+      const auto path =
+          graphs::extract_path(rg.graph, tree, static_cast<graphs::NodeId>(t));
+      CISP_REQUIRE(!path.empty(), "routing graph disconnected");
+      bool used_mw = false;
+      // Walk parent edges to attribute demand to MW links.
+      graphs::NodeId node = static_cast<graphs::NodeId>(t);
+      while (node != static_cast<graphs::NodeId>(s)) {
+        const graphs::EdgeId eid = tree.parent_edge[node];
+        const auto it = rg.edge_to_link.find(eid);
+        if (it != rg.edge_to_link.end()) {
+          plan.links[it->second].demand_gbps += demand;
+          used_mw = true;
+        }
+        node = rg.graph.edge(eid).from;
+      }
+      if (used_mw) plan.routed_on_mw_gbps += demand;
+    }
+  }
+
+  // Existing-tower redundancy: towers within the radius of a path tower.
+  std::vector<geo::LatLon> tower_pos;
+  tower_pos.reserve(towers.size());
+  for (const auto& t : towers) tower_pos.push_back(t.pos);
+  const geo::SpatialIndex index(tower_pos);
+  const auto parallel_capacity = [&](graphs::NodeId tower) {
+    return static_cast<int>(
+        index.within(towers[tower].pos, params.redundancy_radius_km).size());
+  };
+
+  for (auto& link : plan.links) {
+    link.series = series_for_demand(link.demand_gbps, params.series_unit_gbps);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(link.site_a, link.site_b)) << 32) |
+        std::max(link.site_a, link.site_b);
+    const SiteLink& sl = *by_pair[key];
+    plan.base_hops += link.hops;
+    plan.installed_hop_series +=
+        link.hops * static_cast<std::size_t>(link.series);
+    // Tower positions paying rent: every series rents a tower per path
+    // position (shared positions across links are counted once per use —
+    // a conservative overestimate, as in the paper).
+    plan.rented_tower_slots +=
+        sl.tower_path.size() * static_cast<std::size_t>(link.series);
+
+    for (std::size_t h = 0; h + 1 < sl.tower_path.size(); ++h) {
+      const int avail = std::min(parallel_capacity(sl.tower_path[h]),
+                                 parallel_capacity(sl.tower_path[h + 1]));
+      const int extra = std::max(0, link.series - std::max(1, avail));
+      ++plan.hops_by_extra[extra];
+      plan.new_towers += 2 * static_cast<std::size_t>(extra);
+      link.max_extra_per_end = std::max(link.max_extra_per_end, extra);
+    }
+  }
+  return plan;
+}
+
+}  // namespace cisp::design

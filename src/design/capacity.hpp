@@ -1,0 +1,60 @@
+#pragma once
+// Step 3 of the cISP pipeline (§3.3): capacity augmentation. Traffic is
+// scaled to a target aggregate demand and routed over the built topology;
+// each MW link then needs ceil(sqrt(demand)) parallel tower series (the
+// k-series-give-k^2-bandwidth trick), and hops whose surroundings lack
+// existing parallel towers get new towers at each end.
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "design/link_engineering.hpp"
+#include "design/problem.hpp"
+#include "infra/towers.hpp"
+
+namespace cisp::design {
+
+struct CapacityParams {
+  double aggregate_gbps = 100.0;   ///< sum of all site-site demands
+  double series_unit_gbps = 1.0;   ///< one MW series carries this (§2)
+  /// Existing towers within this radius of a path tower can host a
+  /// parallel series (the 6-degree angular separation needs ~10 km at
+  /// 100 km hops, §3.3).
+  double redundancy_radius_km = 12.0;
+};
+
+/// Provisioning decision for one built MW link.
+struct LinkProvision {
+  std::size_t candidate_index = 0;  ///< into DesignInput::candidates()
+  std::size_t site_a = 0;
+  std::size_t site_b = 0;
+  double demand_gbps = 0.0;         ///< routed over this link
+  int series = 1;                   ///< parallel tower series required
+  std::size_t hops = 0;             ///< tower-tower hops on the path
+  int max_extra_per_end = 0;        ///< worst hop's new-tower need
+};
+
+struct CapacityPlan {
+  std::vector<LinkProvision> links;
+  /// Tower-tower hop counts keyed by new towers needed at each end
+  /// (0 = existing towers suffice — the paper's Fig. 3 blue links).
+  std::map<int, std::size_t> hops_by_extra;
+  std::size_t base_hops = 0;            ///< hops at one series each
+  std::size_t installed_hop_series = 0; ///< radio installs: sum hops*series
+  std::size_t rented_tower_slots = 0;   ///< tower positions paying rent
+  std::size_t new_towers = 0;           ///< positions requiring construction
+  double aggregate_gbps = 0.0;
+  double routed_on_mw_gbps = 0.0;       ///< demand share using >= 1 MW link
+};
+
+/// Routes scaled traffic over fiber + built links (shortest effective-km
+/// paths, matching the design objective) and provisions every built link.
+/// `site_links` must be the engineered links the candidates came from.
+[[nodiscard]] CapacityPlan plan_capacity(const DesignInput& input,
+                                         const Topology& topology,
+                                         const std::vector<SiteLink>& site_links,
+                                         const std::vector<infra::Tower>& towers,
+                                         const CapacityParams& params = {});
+
+}  // namespace cisp::design

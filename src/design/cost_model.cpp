@@ -1,0 +1,28 @@
+#include "design/cost_model.hpp"
+
+#include "util/error.hpp"
+
+namespace cisp::design {
+
+CostBreakdown cost_of(const CapacityPlan& plan, const CostModel& model) {
+  CISP_REQUIRE(model.amortization_years > 0.0,
+               "amortization period must be positive");
+  CostBreakdown out;
+  out.install_usd =
+      static_cast<double>(plan.installed_hop_series) * model.hop_install_usd;
+  out.new_tower_usd =
+      static_cast<double>(plan.new_towers) * model.new_tower_usd;
+  // Rent applies to every tower position in use, new or existing.
+  out.rent_usd =
+      (static_cast<double>(plan.rented_tower_slots) +
+       static_cast<double>(plan.new_towers)) *
+      model.tower_rent_usd_per_year * model.amortization_years;
+  out.total_usd = out.install_usd + out.new_tower_usd + out.rent_usd;
+  // GB carried over the amortization window at the provisioned aggregate.
+  const double seconds = model.amortization_years * 365.0 * 86400.0;
+  out.carried_gb = plan.aggregate_gbps * 1e9 / 8.0 * seconds / 1e9;
+  out.usd_per_gb = out.carried_gb > 0.0 ? out.total_usd / out.carried_gb : 0.0;
+  return out;
+}
+
+}  // namespace cisp::design

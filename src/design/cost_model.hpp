@@ -1,0 +1,30 @@
+#pragma once
+// The cost model of §2: $150K per bidirectional 1 Gbps MW hop install
+// ($75K at 500 Mbps), $100K per new tower, $25-50K/year tower rent, all
+// amortized over 5 years and divided by the bytes carried to get $/GB.
+
+#include "design/capacity.hpp"
+
+namespace cisp::design {
+
+struct CostModel {
+  double hop_install_usd = 150000.0;      ///< per tower-tower hop per series
+  double new_tower_usd = 100000.0;        ///< construction capex
+  double tower_rent_usd_per_year = 37500.0;  ///< midpoint of $25-50K
+  double amortization_years = 5.0;
+};
+
+struct CostBreakdown {
+  double install_usd = 0.0;
+  double new_tower_usd = 0.0;
+  double rent_usd = 0.0;
+  double total_usd = 0.0;
+  double carried_gb = 0.0;   ///< GB over the amortization period
+  double usd_per_gb = 0.0;
+};
+
+/// Costs a capacity plan under the model.
+[[nodiscard]] CostBreakdown cost_of(const CapacityPlan& plan,
+                                    const CostModel& model = {});
+
+}  // namespace cisp::design

@@ -1,0 +1,154 @@
+#include "design/exact.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+namespace cisp::design {
+
+namespace {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const DesignInput& input, const ExactOptions& options)
+      : input_(input), options_(options), eval_(input) {
+    order_ = options.candidate_pool;
+    if (order_.empty()) {
+      order_.resize(input.candidates().size());
+      std::iota(order_.begin(), order_.end(), 0);
+    }
+    // Decide high-impact links first: standalone benefit density on the
+    // fiber-only graph. Good orderings make bounds bite early.
+    StretchEvaluator base(input);
+    std::vector<double> density(input.candidates().size(), 0.0);
+    for (const std::size_t l : order_) {
+      density[l] = base.benefit_of(l) / input.candidates()[l].cost_towers;
+    }
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return density[a] > density[b];
+    });
+    start_ = std::chrono::steady_clock::now();
+
+    // Warm-start incumbent: greedy benefit-per-cost selection restricted to
+    // the candidate pool (so the incumbent is always pool-feasible).
+    StretchEvaluator warm(input);
+    std::vector<std::size_t> warm_links;
+    double spent = 0.0;
+    bool added = true;
+    while (added) {
+      added = false;
+      std::size_t pick = SIZE_MAX;
+      double pick_score = 0.0;
+      for (const std::size_t l : order_) {
+        if (std::find(warm_links.begin(), warm_links.end(), l) !=
+            warm_links.end()) {
+          continue;
+        }
+        const double cost = input.candidates()[l].cost_towers;
+        if (spent + cost > input.budget_towers()) continue;
+        const double score = warm.benefit_of(l) / cost;
+        if (score > pick_score + 1e-15) {
+          pick_score = score;
+          pick = l;
+        }
+      }
+      if (pick != SIZE_MAX && pick_score > 0.0) {
+        warm.add_link(pick);
+        warm_links.push_back(pick);
+        spent += input.candidates()[pick].cost_towers;
+        added = true;
+      }
+    }
+    incumbent_.links = warm_links;
+    incumbent_.cost_towers = spent;
+    incumbent_.mean_stretch = warm.mean_stretch();
+  }
+
+  ExactResult run() {
+    std::vector<std::size_t> included;
+    recurse(0, 0.0, included);
+    ExactResult result;
+    result.topology = incumbent_;
+    result.proven_optimal = !aborted_;
+    result.nodes_explored = nodes_;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    result.elapsed_s = elapsed.count();
+    return result;
+  }
+
+ private:
+  bool out_of_budget() {
+    if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) return true;
+    if (options_.time_limit_s > 0.0 && (nodes_ & 0x3F) == 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      if (elapsed.count() > options_.time_limit_s) return true;
+    }
+    return aborted_;
+  }
+
+  /// Optimistic bound: current graph plus ALL undecided candidates (free).
+  double optimistic_stretch(std::size_t depth) {
+    StretchEvaluator relaxed = eval_;
+    for (std::size_t i = depth; i < order_.size(); ++i) {
+      relaxed.add_link(order_[i]);
+    }
+    return relaxed.mean_stretch();
+  }
+
+  void recurse(std::size_t depth, double spent,
+               std::vector<std::size_t>& included) {
+    if (out_of_budget()) {
+      aborted_ = true;
+      return;
+    }
+    ++nodes_;
+    // Leaf: evaluate.
+    const double current = eval_.mean_stretch();
+    if (current < incumbent_.mean_stretch - 1e-12) {
+      incumbent_.links = included;
+      incumbent_.cost_towers = spent;
+      incumbent_.mean_stretch = current;
+    }
+    if (depth >= order_.size()) return;
+    // Bound.
+    if (optimistic_stretch(depth) >= incumbent_.mean_stretch - 1e-12) return;
+
+    const std::size_t link = order_[depth];
+    const double cost = input_.candidates()[link].cost_towers;
+
+    // Branch 1: include (if affordable and actually useful).
+    if (spent + cost <= input_.budget_towers() + 1e-9) {
+      const StretchEvaluator saved = eval_;
+      eval_.add_link(link);
+      included.push_back(link);
+      recurse(depth + 1, spent + cost, included);
+      included.pop_back();
+      eval_ = saved;
+    }
+    // Branch 2: exclude.
+    recurse(depth + 1, spent, included);
+  }
+
+  const DesignInput& input_;
+  ExactOptions options_;
+  StretchEvaluator eval_;
+  std::vector<std::size_t> order_;
+  Topology incumbent_;
+  std::size_t nodes_ = 0;
+  bool aborted_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const DesignInput& input, const ExactOptions& options) {
+  for (const std::size_t l : options.candidate_pool) {
+    CISP_REQUIRE(l < input.candidates().size(), "pool index out of range");
+  }
+  BranchAndBound bnb(input, options);
+  return bnb.run();
+}
+
+}  // namespace cisp::design

@@ -1,0 +1,35 @@
+#pragma once
+// Exact solver for the topology design ILP (§3.2).
+//
+// The paper's flow ILP (Eq. 1), for any fixed link choice x, routes every
+// demand along its shortest built path — so the ILP optimum equals the
+// optimum over link subsets within budget of the traffic-weighted mean
+// stretch. This solver branches on the link decision variables with an
+// admissible bound (the stretch achievable if every undecided candidate
+// were built for free), and therefore returns the ILP optimum when it
+// completes. Like the paper's Gurobi runs (Fig. 2a), it hits an exponential
+// wall as instances grow; the time limit makes that wall measurable.
+
+#include "design/problem.hpp"
+
+namespace cisp::design {
+
+struct ExactOptions {
+  double time_limit_s = 120.0;   ///< 0 = unlimited
+  std::size_t max_nodes = 0;     ///< 0 = unlimited
+  /// Optional candidate restriction (e.g. the greedy 2x-budget pool the
+  /// paper hands to the ILP). Empty = all candidates.
+  std::vector<std::size_t> candidate_pool;
+};
+
+struct ExactResult {
+  Topology topology;
+  bool proven_optimal = false;
+  std::size_t nodes_explored = 0;
+  double elapsed_s = 0.0;
+};
+
+[[nodiscard]] ExactResult solve_exact(const DesignInput& input,
+                                      const ExactOptions& options = {});
+
+}  // namespace cisp::design

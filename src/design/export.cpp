@@ -1,0 +1,99 @@
+#include "design/export.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cisp::design {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes and backslashes; our names are
+/// plain ASCII city names).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void append_point(std::ostringstream& os, const geo::LatLon& pos,
+                  const std::string& properties, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(    {"type":"Feature","geometry":{"type":"Point","coordinates":[)"
+     << pos.lon_deg << ',' << pos.lat_deg << R"(]},"properties":{)"
+     << properties << "}}";
+}
+
+void append_line(std::ostringstream& os, const geo::LatLon& a,
+                 const geo::LatLon& b, const std::string& properties,
+                 bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(    {"type":"Feature","geometry":{"type":"LineString","coordinates":[[)"
+     << a.lon_deg << ',' << a.lat_deg << "],[" << b.lon_deg << ','
+     << b.lat_deg << R"(]]},"properties":{)" << properties << "}}";
+}
+
+}  // namespace
+
+std::string topology_to_geojson(const SiteProblem& problem,
+                                const Topology& topology,
+                                const CapacityPlan* plan) {
+  std::ostringstream os;
+  os << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  bool first = true;
+  for (std::size_t s = 0; s < problem.sites.size(); ++s) {
+    std::ostringstream props;
+    props << R"("kind":"site","name":")" << escape(problem.names[s]) << '"';
+    append_point(os, problem.sites[s], props.str(), first);
+  }
+  for (std::size_t i = 0; i < topology.links.size(); ++i) {
+    const std::size_t cand_idx = topology.links[i];
+    CISP_REQUIRE(cand_idx < problem.input.candidates().size(),
+                 "topology references unknown candidate");
+    const CandidateLink& cand = problem.input.candidates()[cand_idx];
+    std::ostringstream props;
+    props << R"("kind":"mw-link","from":")" << escape(problem.names[cand.site_a])
+          << R"(","to":")" << escape(problem.names[cand.site_b])
+          << R"(","mw_km":)" << cand.mw_km << R"(,"cost_towers":)"
+          << cand.cost_towers << R"(,"stretch":)"
+          << cand.mw_km / problem.input.geodesic_km(cand.site_a, cand.site_b);
+    if (plan != nullptr) {
+      for (const auto& link : plan->links) {
+        if (link.candidate_index == cand_idx) {
+          props << R"(,"demand_gbps":)" << link.demand_gbps << R"(,"series":)"
+                << link.series << R"(,"hops":)" << link.hops;
+          break;
+        }
+      }
+    }
+    append_line(os, problem.sites[cand.site_a], problem.sites[cand.site_b],
+                props.str(), first);
+  }
+  os << "\n]}";
+  return os.str();
+}
+
+std::string towers_to_geojson(const std::vector<infra::Tower>& towers,
+                              std::size_t max_towers) {
+  std::ostringstream os;
+  os << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  bool first = true;
+  const std::size_t count = max_towers == 0
+                                ? towers.size()
+                                : std::min(max_towers, towers.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    std::ostringstream props;
+    props << R"("kind":"tower","height_m":)" << towers[i].height_m;
+    append_point(os, towers[i].pos, props.str(), first);
+  }
+  os << "\n]}";
+  return os.str();
+}
+
+}  // namespace cisp::design

@@ -1,0 +1,27 @@
+#pragma once
+// GeoJSON export of designed topologies: sites as Point features, built MW
+// links as LineString features with latency/cost/provisioning properties,
+// and towers as a point cloud. Output loads directly into geojson.io / QGIS
+// — the programmatic counterpart of the paper's Fig. 3 / Fig. 8 maps.
+
+#include <string>
+
+#include "design/capacity.hpp"
+#include "design/problem.hpp"
+#include "design/scenario.hpp"
+
+namespace cisp::design {
+
+/// GeoJSON FeatureCollection of the sites and built MW links. When `plan`
+/// is non-null, per-link demand/series/provisioning are attached as
+/// feature properties.
+[[nodiscard]] std::string topology_to_geojson(const SiteProblem& problem,
+                                              const Topology& topology,
+                                              const CapacityPlan* plan = nullptr);
+
+/// GeoJSON FeatureCollection of a tower registry (Point features with
+/// height properties). `max_towers` caps the output size (0 = all).
+[[nodiscard]] std::string towers_to_geojson(
+    const std::vector<infra::Tower>& towers, std::size_t max_towers = 0);
+
+}  // namespace cisp::design

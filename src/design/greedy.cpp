@@ -1,0 +1,178 @@
+#include "design/greedy.hpp"
+
+#include "design/exact.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace cisp::design {
+
+namespace {
+
+/// Lazy greedy: benefits only shrink as links are added (adding a link can
+/// never make another link's improvement larger), so stale heap entries are
+/// safe upper bounds — re-evaluate only the top.
+std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
+                                     bool per_cost) {
+  StretchEvaluator eval(input);
+  const auto& candidates = input.candidates();
+
+  struct Entry {
+    double score;
+    std::size_t link;
+    std::size_t epoch;  ///< number of links chosen when score was computed
+  };
+  const auto cmp = [](const Entry& a, const Entry& b) {
+    return a.score < b.score;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+
+  const auto score_of = [&](std::size_t link) {
+    const double benefit = eval.benefit_of(link);
+    return per_cost ? benefit / candidates[link].cost_towers : benefit;
+  };
+  for (std::size_t l = 0; l < candidates.size(); ++l) {
+    heap.push({score_of(l), l, 0});
+  }
+
+  std::vector<std::size_t> chosen;
+  std::vector<bool> taken(candidates.size(), false);
+  double spent = 0.0;
+  std::size_t epoch = 0;
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (taken[top.link]) continue;
+    if (spent + candidates[top.link].cost_towers > budget) continue;
+    if (top.epoch != epoch) {
+      top.score = score_of(top.link);
+      top.epoch = epoch;
+      if (top.score <= 0.0) continue;
+      // Re-insert unless it is still clearly the best.
+      if (!heap.empty() && top.score < heap.top().score) {
+        heap.push(top);
+        continue;
+      }
+    }
+    if (top.score <= 0.0) continue;
+    eval.add_link(top.link);
+    taken[top.link] = true;
+    chosen.push_back(top.link);
+    spent += candidates[top.link].cost_towers;
+    ++epoch;
+  }
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<std::size_t> greedy_candidate_pool(const DesignInput& input,
+                                               double factor) {
+  CISP_REQUIRE(factor >= 1.0, "candidate budget factor must be >= 1");
+  return lazy_greedy(input, input.budget_towers() * factor,
+                     /*per_cost=*/true);
+}
+
+Topology solve_greedy(const DesignInput& input, const GreedyOptions& options) {
+  std::vector<std::size_t> chosen =
+      lazy_greedy(input, input.budget_towers(), options.benefit_per_cost);
+  Topology best = StretchEvaluator::evaluate(input, chosen);
+
+  if (options.swap_refinement && !chosen.empty()) {
+    const auto& candidates = input.candidates();
+    for (std::size_t round = 0; round < options.max_swap_rounds; ++round) {
+      bool improved = false;
+      // Try replacing each chosen link with each unchosen candidate that
+      // fits the freed budget.
+      for (std::size_t out_pos = 0; out_pos < best.links.size(); ++out_pos) {
+        std::vector<std::size_t> without = best.links;
+        without.erase(without.begin() + static_cast<std::ptrdiff_t>(out_pos));
+        const double freed_budget =
+            input.budget_towers() -
+            (best.cost_towers - candidates[best.links[out_pos]].cost_towers);
+
+        // Evaluate the graph without the removed link once, then test
+        // candidate insertions via benefit queries.
+        StretchEvaluator eval(input);
+        for (const std::size_t l : without) eval.add_link(l);
+        const double base_sum_proxy = eval.mean_stretch();
+
+        std::size_t best_in = SIZE_MAX;
+        double best_stretch = best.mean_stretch;
+        for (std::size_t cand = 0; cand < candidates.size(); ++cand) {
+          if (std::find(best.links.begin(), best.links.end(), cand) !=
+              best.links.end()) {
+            continue;
+          }
+          if (candidates[cand].cost_towers > freed_budget) continue;
+          const double gain =
+              eval.benefit_of(cand) / input.total_traffic();
+          const double new_stretch = base_sum_proxy - gain;
+          if (new_stretch < best_stretch - 1e-12) {
+            best_stretch = new_stretch;
+            best_in = cand;
+          }
+        }
+        if (best_in != SIZE_MAX) {
+          without.push_back(best_in);
+          best = StretchEvaluator::evaluate(input, std::move(without));
+          improved = true;
+          break;  // restart the scan from the new solution
+        }
+      }
+      if (!improved) break;
+    }
+  }
+  // Opportunistic fill: spend leftover budget on best remaining links.
+  {
+    StretchEvaluator eval(input);
+    for (const std::size_t l : best.links) eval.add_link(l);
+    const auto& candidates = input.candidates();
+    bool added = true;
+    while (added) {
+      added = false;
+      std::size_t pick = SIZE_MAX;
+      double pick_score = 0.0;
+      for (std::size_t cand = 0; cand < candidates.size(); ++cand) {
+        if (std::find(best.links.begin(), best.links.end(), cand) !=
+            best.links.end()) {
+          continue;
+        }
+        if (best.cost_towers + candidates[cand].cost_towers >
+            input.budget_towers()) {
+          continue;
+        }
+        const double score =
+            eval.benefit_of(cand) / candidates[cand].cost_towers;
+        if (score > pick_score + 1e-15) {
+          pick_score = score;
+          pick = cand;
+        }
+      }
+      if (pick != SIZE_MAX && pick_score > 0.0) {
+        eval.add_link(pick);
+        best.links.push_back(pick);
+        best.cost_towers += candidates[pick].cost_towers;
+        added = true;
+      }
+    }
+    best.mean_stretch = eval.mean_stretch();
+  }
+  return best;
+}
+
+Topology solve_cisp(const DesignInput& input, const CispOptions& options) {
+  const Topology greedy = solve_greedy(input, options.greedy);
+  const std::vector<std::size_t> pool =
+      greedy_candidate_pool(input, options.pool_factor);
+  if (pool.size() > options.exact_pool_limit) return greedy;
+  ExactOptions exact_options;
+  exact_options.time_limit_s = options.exact_time_limit_s;
+  exact_options.candidate_pool = pool;
+  const ExactResult refined = solve_exact(input, exact_options);
+  return refined.topology.mean_stretch < greedy.mean_stretch
+             ? refined.topology
+             : greedy;
+}
+
+}  // namespace cisp::design

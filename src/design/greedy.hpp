@@ -1,0 +1,51 @@
+#pragma once
+// The cISP design heuristic (§3.2): lazy greedy link selection, optionally
+// with an inflated candidate budget (the paper uses 2x to generate the
+// candidate set handed to the exact solver), followed by a swap-improvement
+// refinement. On instances small enough for the exact solver, the heuristic
+// matches the optimum (the paper's Fig. 2(b); verified in our tests).
+
+#include "design/problem.hpp"
+
+namespace cisp::design {
+
+struct GreedyOptions {
+  /// Budget inflation used when generating a candidate pool (paper: 2.0).
+  /// The final selection always respects the real budget.
+  double candidate_budget_factor = 1.0;
+  /// Benefit is divided by link cost when ranking (benefit-per-tower);
+  /// plain benefit follows the paper's description most literally, but
+  /// per-cost is never worse in our experiments and is the default for
+  /// the final selection pass.
+  bool benefit_per_cost = true;
+  /// Post-pass: try remove-one/add-one swaps until no improvement.
+  bool swap_refinement = true;
+  std::size_t max_swap_rounds = 6;
+};
+
+/// Runs the greedy heuristic; returns the chosen topology (within budget).
+[[nodiscard]] Topology solve_greedy(const DesignInput& input,
+                                    const GreedyOptions& options = {});
+
+/// Runs only the candidate-generation phase at `factor` times the budget
+/// and returns candidate indices (superset of what a final selection would
+/// build). This is the pool the paper feeds to the ILP.
+[[nodiscard]] std::vector<std::size_t> greedy_candidate_pool(
+    const DesignInput& input, double factor = 2.0);
+
+struct CispOptions {
+  double pool_factor = 2.0;         ///< paper: 2x budget candidate pool
+  std::size_t exact_pool_limit = 30;  ///< run exact refinement up to this pool size
+  double exact_time_limit_s = 30.0;
+  GreedyOptions greedy;
+};
+
+/// The full cISP design heuristic as described in §3.2: greedy candidate
+/// generation at an inflated budget, then the exact solver restricted to
+/// that pool. When the pool is too large for exact refinement (large
+/// instances), falls back to greedy + swap refinement — mirroring how the
+/// method is near-optimal where verifiable and scalable beyond.
+[[nodiscard]] Topology solve_cisp(const DesignInput& input,
+                                  const CispOptions& options = {});
+
+}  // namespace cisp::design

@@ -1,0 +1,88 @@
+#include "design/hop_engineering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.hpp"
+#include "geo/spatial_index.hpp"
+#include "terrain/profile.hpp"
+#include "util/error.hpp"
+
+namespace cisp::design {
+
+TowerGraph build_tower_graph(const terrain::Heightfield& terrain,
+                             std::vector<infra::Tower> towers,
+                             const HopParams& params) {
+  const std::vector<HopParams> configs{params};
+  auto graphs = build_tower_graphs_multi(terrain, towers, configs);
+  return std::move(graphs[0]);
+}
+
+std::vector<TowerGraph> build_tower_graphs_multi(
+    const terrain::Heightfield& terrain,
+    const std::vector<infra::Tower>& towers,
+    const std::vector<HopParams>& configs) {
+  CISP_REQUIRE(!configs.empty(), "need at least one hop configuration");
+  CISP_REQUIRE(towers.size() >= 2, "need at least two towers");
+  double max_range = 0.0;
+  for (const auto& cfg : configs) {
+    CISP_REQUIRE(cfg.max_range_km > 0.0, "range must be positive");
+    CISP_REQUIRE(cfg.usable_height_fraction > 0.0 &&
+                     cfg.usable_height_fraction <= 1.0,
+                 "usable height fraction must be in (0, 1]");
+    max_range = std::max(max_range, cfg.max_range_km);
+  }
+
+  std::vector<geo::LatLon> positions;
+  positions.reserve(towers.size());
+  for (const auto& t : towers) positions.push_back(t.pos);
+  const geo::SpatialIndex index(positions);
+
+  std::vector<TowerGraph> result(configs.size());
+  for (auto& tg : result) {
+    tg.towers = towers;
+    tg.graph = graphs::Graph(towers.size());
+  }
+
+  for (std::size_t i = 0; i < towers.size(); ++i) {
+    const auto neighbors = index.within(towers[i].pos, max_range);
+    for (const std::size_t j : neighbors) {
+      if (j <= i) continue;
+      const double dist = geo::distance_km(towers[i].pos, towers[j].pos);
+      if (dist < 0.5) continue;  // co-located structures: not a useful hop
+      // Evaluate the profile once at the finest requested step, then test
+      // every configuration against it.
+      const HopParams& finest = *std::min_element(
+          configs.begin(), configs.end(),
+          [](const HopParams& a, const HopParams& b) {
+            return a.profile_step_km < b.profile_step_km;
+          });
+      // Coarse pre-pass with the most permissive mounts.
+      const auto coarse = terrain::build_profile(
+          terrain, towers[i].pos, towers[j].pos, finest.profile_step_km * 4.0);
+      const auto coarse_result = rf::evaluate_clearance(
+          coarse, towers[i].height_m, towers[j].height_m, finest.clearance);
+      if (coarse_result.margin_m < finest.coarse_reject_margin_m) continue;
+
+      const auto fine = terrain::build_profile(
+          terrain, towers[i].pos, towers[j].pos, finest.profile_step_km);
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        const HopParams& cfg = configs[c];
+        if (dist > cfg.max_range_km) continue;
+        const double mount_i =
+            TowerGraph::mount_height_m(towers[i], cfg.usable_height_fraction);
+        const double mount_j =
+            TowerGraph::mount_height_m(towers[j], cfg.usable_height_fraction);
+        if (rf::evaluate_clearance(fine, mount_i, mount_j, cfg.clearance)
+                .clear) {
+          result[c].graph.add_undirected(static_cast<graphs::NodeId>(i),
+                                         static_cast<graphs::NodeId>(j), dist);
+          ++result[c].feasible_hops;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cisp::design

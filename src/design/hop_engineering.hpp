@@ -1,0 +1,52 @@
+#pragma once
+// Step 1(a) of the cISP pipeline (§3.1): decide which tower pairs can host
+// a microwave hop — range limit plus Fresnel-zone line-of-sight clearance
+// over terrain — and assemble the tower-level hop graph.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "infra/towers.hpp"
+#include "rf/fresnel.hpp"
+#include "terrain/heightfield.hpp"
+
+namespace cisp::design {
+
+struct HopParams {
+  double max_range_km = 100.0;        ///< §2: practicable MW range
+  double usable_height_fraction = 1.0;  ///< §6.5: antenna mount restriction
+  rf::ClearanceParams clearance;      ///< f = 11 GHz, K = 1.3, full Fresnel
+  double profile_step_km = 0.5;       ///< terrain sampling along the hop
+  /// Coarse pre-pass: hops whose clearance margin at 4x the step is worse
+  /// than this (meters) are rejected without the fine pass.
+  double coarse_reject_margin_m = -80.0;
+};
+
+/// The tower-level graph: nodes are towers, edges are feasible hops with
+/// geodesic length as weight.
+struct TowerGraph {
+  std::vector<infra::Tower> towers;
+  graphs::Graph graph{0};
+  std::size_t feasible_hops = 0;  ///< undirected count
+
+  /// Antenna mount height used for tower i under `fraction`.
+  [[nodiscard]] static double mount_height_m(const infra::Tower& tower,
+                                             double fraction) {
+    return tower.height_m * fraction;
+  }
+};
+
+/// Evaluates all tower pairs within range and returns the hop graph.
+[[nodiscard]] TowerGraph build_tower_graph(const terrain::Heightfield& terrain,
+                                           std::vector<infra::Tower> towers,
+                                           const HopParams& params = {});
+
+/// Multi-configuration sweep (for §6.5): builds the expensive terrain
+/// profiles once per candidate pair and evaluates every (range, height
+/// fraction) configuration on them. Returns one TowerGraph per config,
+/// in input order. All configs must share clearance params and step.
+[[nodiscard]] std::vector<TowerGraph> build_tower_graphs_multi(
+    const terrain::Heightfield& terrain, const std::vector<infra::Tower>& towers,
+    const std::vector<HopParams>& configs);
+
+}  // namespace cisp::design

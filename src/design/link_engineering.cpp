@@ -1,0 +1,116 @@
+#include "design/link_engineering.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "geo/geodesic.hpp"
+#include "geo/spatial_index.hpp"
+#include "graph/dijkstra.hpp"
+#include "util/error.hpp"
+
+namespace cisp::design {
+
+namespace {
+
+/// Builds the combined site+tower graph: site node ids are
+/// [tower_count, tower_count + sites); each site connects to nearby towers
+/// with the geodesic distance as weight.
+graphs::Graph combined_graph(const TowerGraph& tg,
+                             const std::vector<geo::LatLon>& sites,
+                             const LinkParams& params) {
+  const std::size_t t = tg.towers.size();
+  graphs::Graph g(t + sites.size());
+  for (const auto& e : tg.graph.edges()) {
+    // The tower graph stores both arcs; copy each arc as-is.
+    g.add_edge(e.from, e.to, e.weight);
+  }
+  std::vector<geo::LatLon> tower_pos;
+  tower_pos.reserve(t);
+  for (const auto& tower : tg.towers) tower_pos.push_back(tower.pos);
+  const geo::SpatialIndex index(tower_pos);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const auto near = index.within(sites[s], params.site_tower_radius_km);
+    for (const std::size_t tower : near) {
+      g.add_undirected(static_cast<graphs::NodeId>(t + s),
+                       static_cast<graphs::NodeId>(tower),
+                       geo::distance_km(sites[s], tower_pos[tower]));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::vector<SiteLink> engineer_links(const TowerGraph& tower_graph,
+                                     const std::vector<geo::LatLon>& sites,
+                                     const LinkParams& params) {
+  CISP_REQUIRE(sites.size() >= 2, "need at least two sites");
+  CISP_REQUIRE(params.site_tower_radius_km > 0.0,
+               "site-tower radius must be positive");
+  const std::size_t t = tower_graph.towers.size();
+  const graphs::Graph g = combined_graph(tower_graph, sites, params);
+
+  std::vector<SiteLink> links;
+  for (std::size_t a = 0; a < sites.size(); ++a) {
+    const auto tree =
+        graphs::dijkstra(g, static_cast<graphs::NodeId>(t + a));
+    for (std::size_t b = a + 1; b < sites.size(); ++b) {
+      SiteLink link;
+      link.site_a = a;
+      link.site_b = b;
+      const auto target = static_cast<graphs::NodeId>(t + b);
+      if (tree.reached(target)) {
+        const graphs::Path p = graphs::extract_path(g, tree, target);
+        link.feasible = true;
+        link.mw_km = p.length;
+        for (const graphs::NodeId node : p.nodes) {
+          if (node < t) link.tower_path.push_back(node);
+        }
+        // A "direct" site-site connection with no towers cannot happen:
+        // sites only attach to towers.
+        CISP_REQUIRE(!link.tower_path.empty(),
+                     "MW path without towers is impossible");
+      }
+      links.push_back(std::move(link));
+    }
+  }
+  return links;
+}
+
+std::vector<CandidateLink> to_candidates(const std::vector<SiteLink>& links) {
+  std::vector<CandidateLink> candidates;
+  for (const SiteLink& l : links) {
+    if (!l.feasible) continue;
+    candidates.push_back({l.site_a, l.site_b, l.mw_km, l.cost_towers()});
+  }
+  return candidates;
+}
+
+std::vector<double> tower_disjoint_path_lengths(
+    const TowerGraph& tower_graph, const geo::LatLon& site_a,
+    const geo::LatLon& site_b, std::size_t iterations,
+    const LinkParams& params) {
+  const std::size_t t = tower_graph.towers.size();
+  const graphs::Graph g =
+      combined_graph(tower_graph, {site_a, site_b}, params);
+  const auto src = static_cast<graphs::NodeId>(t);
+  const auto dst = static_cast<graphs::NodeId>(t + 1);
+
+  std::vector<double> lengths;
+  std::unordered_set<graphs::NodeId> removed;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const auto mask = [&](graphs::EdgeId eid) {
+      const auto& e = g.edge(eid);
+      return removed.count(e.from) == 0 && removed.count(e.to) == 0;
+    };
+    const graphs::Path p = graphs::shortest_path(g, src, dst, mask);
+    if (p.empty()) break;
+    lengths.push_back(p.length);
+    for (const graphs::NodeId node : p.nodes) {
+      if (node < t) removed.insert(node);  // remove used towers, keep sites
+    }
+  }
+  return lengths;
+}
+
+}  // namespace cisp::design

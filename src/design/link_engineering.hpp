@@ -1,0 +1,52 @@
+#pragma once
+// Step 1(b) of the cISP pipeline (§3.1/§4): for each pair of sites, the
+// shortest microwave path through the tower hop graph — the candidate
+// "link" handed to topology design, with its latency (path km) and cost
+// (towers used).
+
+#include <vector>
+
+#include "design/hop_engineering.hpp"
+#include "design/problem.hpp"
+#include "geo/latlon.hpp"
+
+namespace cisp::design {
+
+struct LinkParams {
+  /// Sites connect to towers within this radius at zero cost (the paper
+  /// observes each population center hosts many suitable towers).
+  double site_tower_radius_km = 30.0;
+};
+
+/// An engineered site-to-site MW link.
+struct SiteLink {
+  std::size_t site_a = 0;
+  std::size_t site_b = 0;
+  bool feasible = false;
+  double mw_km = 0.0;                       ///< latency distance
+  std::vector<graphs::NodeId> tower_path;   ///< tower indices used
+  [[nodiscard]] double cost_towers() const {
+    return static_cast<double>(tower_path.size());
+  }
+};
+
+/// Computes the shortest MW path for every site pair (n Dijkstras over the
+/// tower graph). Infeasible pairs (disconnected tower graph or no towers
+/// near a site) are returned with feasible = false.
+[[nodiscard]] std::vector<SiteLink> engineer_links(
+    const TowerGraph& tower_graph, const std::vector<geo::LatLon>& sites,
+    const LinkParams& params = {});
+
+/// Converts engineered links to design candidates (drops infeasible ones).
+[[nodiscard]] std::vector<CandidateLink> to_candidates(
+    const std::vector<SiteLink>& links);
+
+/// Successive tower-disjoint MW paths between two sites (Fig. 4(b)): find
+/// the shortest tower path, remove its towers, repeat. Returns the path
+/// lengths in km (first = shortest).
+[[nodiscard]] std::vector<double> tower_disjoint_path_lengths(
+    const TowerGraph& tower_graph, const geo::LatLon& site_a,
+    const geo::LatLon& site_b, std::size_t iterations,
+    const LinkParams& params = {});
+
+}  // namespace cisp::design

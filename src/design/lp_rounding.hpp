@@ -1,0 +1,35 @@
+#pragma once
+// LP-relaxation + rounding baseline (§3.2). The paper reports that "even
+// the naive LP relaxation followed by rounding did not scale beyond 60
+// cities, and gave results worse than optimal" — this module reproduces
+// that baseline: the flow ILP of Eq. 1 is relaxed (x, f in [0,1]), solved
+// with our simplex, and the x variables are rounded greedily into a
+// feasible (budget-respecting) topology.
+
+#include "design/problem.hpp"
+
+namespace cisp::design {
+
+struct LpRoundingOptions {
+  /// Variable-elimination slack: for a commodity (s,t), a MW link (u,v) is
+  /// kept only if detour-through-it <= slack * fiber effective km. This is
+  /// the paper's "obviously bad flows" oracle; 1.0 preserves optimality of
+  /// the relaxation, larger values are even more conservative.
+  double elimination_slack = 1.0;
+  /// Cap on the number of commodities encoded (heaviest traffic first);
+  /// keeps the tableau tractable. 0 = all commodities.
+  std::size_t max_commodities = 60;
+};
+
+struct LpRoundingResult {
+  Topology topology;
+  double lp_objective = 0.0;    ///< relaxation value (lower bound proxy)
+  std::size_t lp_variables = 0;
+  std::size_t lp_constraints = 0;
+  bool solved = false;          ///< false if the relaxation failed/timed out
+};
+
+[[nodiscard]] LpRoundingResult solve_lp_rounding(
+    const DesignInput& input, const LpRoundingOptions& options = {});
+
+}  // namespace cisp::design

@@ -1,0 +1,52 @@
+#include "design/parallel_series.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cisp::design {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double min_series_separation_km(double hop_km, double separation_deg) {
+  CISP_REQUIRE(hop_km > 0.0, "hop length must be positive");
+  CISP_REQUIRE(separation_deg > 0.0 && separation_deg < 90.0,
+               "separation angle out of range");
+  return hop_km * std::tan(separation_deg * kPi / 180.0);
+}
+
+double lateral_divergence_stretch(double link_km, double offset_km) {
+  CISP_REQUIRE(link_km > 0.0, "link length must be positive");
+  CISP_REQUIRE(offset_km >= 0.0, "offset must be non-negative");
+  // Two straight segments through the offset midpoint.
+  const double half = link_km / 2.0;
+  const double detour = 2.0 * std::sqrt(half * half + offset_km * offset_km);
+  return detour / link_km;
+}
+
+int series_for_demand(double demand_gbps, double series_gbps) {
+  CISP_REQUIRE(demand_gbps >= 0.0, "negative demand");
+  CISP_REQUIRE(series_gbps > 0.0, "series bandwidth must be positive");
+  if (demand_gbps == 0.0) return 1;
+  return std::max(
+      1, static_cast<int>(std::ceil(std::sqrt(demand_gbps / series_gbps) -
+                                    1e-9)));
+}
+
+double bandwidth_of_series(int k, double series_gbps) {
+  CISP_REQUIRE(k >= 1, "need at least one series");
+  return static_cast<double>(k) * static_cast<double>(k) * series_gbps;
+}
+
+double outermost_offset_km(int k, double hop_km, double separation_deg) {
+  CISP_REQUIRE(k >= 1, "need at least one series");
+  if (k == 1) return 0.0;
+  // Series are laid out symmetrically around the geodesic at multiples of
+  // the minimum separation; the outermost sits at floor(k/2) steps.
+  const double step = min_series_separation_km(hop_km, separation_deg);
+  return step * std::floor(static_cast<double>(k) / 2.0);
+}
+
+}  // namespace cisp::design

@@ -1,0 +1,43 @@
+#pragma once
+// Geometry of parallel tower series (§3.3, Fig. 1): k parallel series of
+// towers, cross-connected with angular frequency reuse, provide k^2 times
+// the bandwidth. Antennas sharing a frequency need >= 6 degrees of angular
+// separation, which dictates how far apart the parallel series must run —
+// and that lateral divergence costs a (tiny) amount of stretch, quantified
+// here exactly as in the paper's examples.
+
+#include <cstddef>
+
+namespace cisp::design {
+
+/// The paper's required angular separation for frequency reuse, degrees.
+inline constexpr double kAngularSeparationDeg = 6.0;
+
+/// Minimum lateral distance between adjacent parallel series for a given
+/// tower-tower hop length (paper: 100 km hops need 100 * tan(6 deg) =
+/// ~10.5 km).
+[[nodiscard]] double min_series_separation_km(
+    double hop_km, double separation_deg = kAngularSeparationDeg);
+
+/// Extra path length ratio incurred when a link's midpoint diverges
+/// laterally by `offset_km` from the geodesic of a link `link_km` long
+/// (paper: 10 km off a 500 km link costs a negligible 0.2%).
+/// Returns the multiplicative stretch factor (>= 1).
+[[nodiscard]] double lateral_divergence_stretch(double link_km,
+                                                double offset_km);
+
+/// Number of parallel series required for `demand_gbps` given one series
+/// carries `series_gbps` and k series provide k^2 of it (§3.3's
+/// 1 series < 1 Gbps, 2 for 1-4 Gbps, 3 for 4-9 Gbps, ...).
+[[nodiscard]] int series_for_demand(double demand_gbps, double series_gbps);
+
+/// Aggregate bandwidth of k cross-connected series, Gbps.
+[[nodiscard]] double bandwidth_of_series(int k, double series_gbps);
+
+/// Worst-case lateral offset of the outermost of k series (the middle
+/// series follows the geodesic; the others sit at multiples of the
+/// minimum separation).
+[[nodiscard]] double outermost_offset_km(int k, double hop_km,
+                                         double separation_deg = kAngularSeparationDeg);
+
+}  // namespace cisp::design

@@ -1,0 +1,140 @@
+#include "design/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cisp::design {
+
+DesignInput::DesignInput(std::vector<std::vector<double>> geodesic_km,
+                         std::vector<std::vector<double>> fiber_effective_km,
+                         std::vector<std::vector<double>> traffic,
+                         std::vector<CandidateLink> candidates,
+                         double budget_towers)
+    : n_(geodesic_km.size()),
+      geodesic_(std::move(geodesic_km)),
+      fiber_(std::move(fiber_effective_km)),
+      traffic_(std::move(traffic)),
+      candidates_(std::move(candidates)),
+      budget_(budget_towers) {
+  CISP_REQUIRE(n_ >= 2, "design needs at least two sites");
+  CISP_REQUIRE(fiber_.size() == n_ && traffic_.size() == n_,
+               "matrix dimensions disagree");
+  for (std::size_t i = 0; i < n_; ++i) {
+    CISP_REQUIRE(geodesic_[i].size() == n_ && fiber_[i].size() == n_ &&
+                     traffic_[i].size() == n_,
+                 "matrix row width disagrees");
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      CISP_REQUIRE(geodesic_[i][j] > 0.0, "coincident sites");
+      CISP_REQUIRE(fiber_[i][j] >= geodesic_[i][j],
+                   "fiber cannot beat the geodesic at c");
+      CISP_REQUIRE(traffic_[i][j] >= 0.0, "negative traffic");
+      total_traffic_ += traffic_[i][j];
+    }
+  }
+  CISP_REQUIRE(total_traffic_ > 0.0, "all-zero traffic matrix");
+  CISP_REQUIRE(budget_ >= 0.0, "negative budget");
+  for (const CandidateLink& c : candidates_) {
+    CISP_REQUIRE(c.site_a < n_ && c.site_b < n_ && c.site_a != c.site_b,
+                 "candidate endpoints invalid");
+    CISP_REQUIRE(c.mw_km >= geodesic_[c.site_a][c.site_b] - 1e-6,
+                 "MW path cannot beat the geodesic");
+    CISP_REQUIRE(c.cost_towers > 0.0, "candidate with non-positive cost");
+  }
+}
+
+std::size_t DesignInput::prune_dominated_candidates() {
+  const std::size_t before = candidates_.size();
+  std::erase_if(candidates_, [this](const CandidateLink& c) {
+    return c.mw_km >= fiber_[c.site_a][c.site_b];
+  });
+  return before - candidates_.size();
+}
+
+StretchEvaluator::StretchEvaluator(const DesignInput& input) : input_(&input) {
+  reset();
+}
+
+void StretchEvaluator::reset() {
+  const std::size_t n = input_->site_count();
+  dist_.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dist_[i][j] = (i == j) ? 0.0 : input_->fiber_effective_km(i, j);
+    }
+  }
+}
+
+void StretchEvaluator::add_link(std::size_t link_index) {
+  const CandidateLink& link = input_->candidates().at(link_index);
+  const std::size_t n = input_->site_count();
+  const std::size_t u = link.site_a;
+  const std::size_t v = link.site_b;
+  const double w = link.mw_km;
+  if (dist_[u][v] <= w) return;  // cannot improve anything
+  // Incremental Floyd step for one new undirected edge.
+  for (std::size_t s = 0; s < n; ++s) {
+    const double su = dist_[s][u];
+    const double sv = dist_[s][v];
+    for (std::size_t t = 0; t < n; ++t) {
+      const double via = std::min(su + w + dist_[v][t], sv + w + dist_[u][t]);
+      if (via < dist_[s][t]) dist_[s][t] = via;
+    }
+  }
+}
+
+double StretchEvaluator::mean_stretch() const {
+  const std::size_t n = input_->site_count();
+  double acc = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) continue;
+      acc += input_->traffic(s, t) * dist_[s][t] / input_->geodesic_km(s, t);
+    }
+  }
+  return acc / input_->total_traffic();
+}
+
+double StretchEvaluator::benefit_of(std::size_t link_index) const {
+  const CandidateLink& link = input_->candidates().at(link_index);
+  const std::size_t n = input_->site_count();
+  const std::size_t u = link.site_a;
+  const std::size_t v = link.site_b;
+  const double w = link.mw_km;
+  if (dist_[u][v] <= w) return 0.0;
+  double benefit = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const double su = dist_[s][u];
+    const double sv = dist_[s][v];
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const double h = input_->traffic(s, t);
+      if (h == 0.0) continue;
+      const double via = std::min(su + w + dist_[v][t], sv + w + dist_[u][t]);
+      if (via < dist_[s][t]) {
+        benefit += h * (dist_[s][t] - via) / input_->geodesic_km(s, t);
+      }
+    }
+  }
+  return benefit;
+}
+
+double StretchEvaluator::pair_stretch(std::size_t i, std::size_t j) const {
+  CISP_REQUIRE(i != j, "stretch of a site with itself");
+  return dist_[i][j] / input_->geodesic_km(i, j);
+}
+
+Topology StretchEvaluator::evaluate(const DesignInput& input,
+                                    std::vector<std::size_t> links) {
+  StretchEvaluator eval(input);
+  Topology topo;
+  topo.links = std::move(links);
+  for (const std::size_t l : topo.links) {
+    topo.cost_towers += input.candidates().at(l).cost_towers;
+    eval.add_link(l);
+  }
+  topo.mean_stretch = eval.mean_stretch();
+  return topo;
+}
+
+}  // namespace cisp::design

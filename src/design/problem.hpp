@@ -1,0 +1,114 @@
+#pragma once
+// The topology design problem of §3.2: given sites, a traffic matrix, MW
+// link candidates (from Step 1) and fiber distances, choose which MW links
+// to build within a tower budget so that traffic-weighted mean stretch is
+// minimized.
+//
+// Distances are kept in "effective km at c": a path of E effective km has
+// one-way latency E / c, so stretch(s,t) = E(s,t) / geodesic(s,t). MW
+// kilometers count 1:1 (air propagation at c); fiber kilometers count 1.5x
+// (refraction), folded in when the input is built.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cisp::design {
+
+inline constexpr double kInfeasible = 1e18;
+
+/// A candidate MW link between two sites (output of Step 1).
+struct CandidateLink {
+  std::size_t site_a = 0;
+  std::size_t site_b = 0;
+  double mw_km = 0.0;        ///< distance along the tower path (latency)
+  double cost_towers = 0.0;  ///< towers used (the paper's budget unit)
+};
+
+/// Immutable problem instance.
+class DesignInput {
+ public:
+  /// `fiber_effective_km[i][j]` must already include the 1.5 refraction
+  /// factor; `traffic[i][j]` in [0,1]; `geodesic_km` strictly positive off
+  /// the diagonal.
+  DesignInput(std::vector<std::vector<double>> geodesic_km,
+              std::vector<std::vector<double>> fiber_effective_km,
+              std::vector<std::vector<double>> traffic,
+              std::vector<CandidateLink> candidates, double budget_towers);
+
+  [[nodiscard]] std::size_t site_count() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<CandidateLink>& candidates() const noexcept {
+    return candidates_;
+  }
+  [[nodiscard]] double budget_towers() const noexcept { return budget_; }
+  [[nodiscard]] double geodesic_km(std::size_t i, std::size_t j) const {
+    return geodesic_[i][j];
+  }
+  [[nodiscard]] double fiber_effective_km(std::size_t i, std::size_t j) const {
+    return fiber_[i][j];
+  }
+  [[nodiscard]] double traffic(std::size_t i, std::size_t j) const {
+    return traffic_[i][j];
+  }
+  [[nodiscard]] double total_traffic() const noexcept { return total_traffic_; }
+
+  /// Drops candidates that cannot help: a MW link slower than the fiber
+  /// path between its own endpoints can always be replaced by that fiber
+  /// path (the paper's optimality-preserving elimination). Returns the
+  /// number of candidates removed.
+  std::size_t prune_dominated_candidates();
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<double>> geodesic_;
+  std::vector<std::vector<double>> fiber_;
+  std::vector<std::vector<double>> traffic_;
+  std::vector<CandidateLink> candidates_;
+  double budget_;
+  double total_traffic_ = 0.0;
+};
+
+/// A chosen topology: indices into DesignInput::candidates().
+struct Topology {
+  std::vector<std::size_t> links;
+  double cost_towers = 0.0;
+  double mean_stretch = 0.0;  ///< traffic-weighted
+};
+
+/// Incremental evaluator: maintains the all-pairs effective-km matrix over
+/// fiber + currently added MW links. Adding a link is O(n^2); benefit
+/// queries are O(n^2) and non-mutating.
+class StretchEvaluator {
+ public:
+  explicit StretchEvaluator(const DesignInput& input);
+
+  /// Removes all MW links (back to fiber-only distances).
+  void reset();
+  /// Adds candidate `link_index` and updates distances.
+  void add_link(std::size_t link_index);
+
+  /// Traffic-weighted mean stretch of the current graph.
+  [[nodiscard]] double mean_stretch() const;
+  /// Decrease of the objective sum (traffic-weighted stretch sum, the
+  /// paper's Eq. 1) if `link_index` were added now. >= 0.
+  [[nodiscard]] double benefit_of(std::size_t link_index) const;
+  /// Current effective km between two sites.
+  [[nodiscard]] double effective_km(std::size_t i, std::size_t j) const {
+    return dist_[i][j];
+  }
+  /// Stretch of one pair under the current graph.
+  [[nodiscard]] double pair_stretch(std::size_t i, std::size_t j) const;
+
+  /// Convenience: evaluates a full topology from scratch.
+  [[nodiscard]] static Topology evaluate(const DesignInput& input,
+                                         std::vector<std::size_t> links);
+
+ private:
+  // Pointer (not reference) so evaluators are copy-assignable: the exact
+  // solver snapshots and restores evaluator state while branching.
+  const DesignInput* input_;
+  std::vector<std::vector<double>> dist_;
+};
+
+}  // namespace cisp::design

@@ -1,0 +1,253 @@
+#include "design/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.hpp"
+#include "util/error.hpp"
+
+namespace cisp::design {
+
+namespace {
+
+Scenario build_scenario(std::string name, terrain::Region region,
+                        const std::vector<infra::City>& all_cities,
+                        ScenarioOptions options) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  if (options.fast) {
+    region.raster_cell_deg = 0.05;
+    options.hop.profile_step_km = std::max(options.hop.profile_step_km, 2.0);
+    options.towers.rural_towers = std::min<std::size_t>(
+        options.towers.rural_towers, 4500);
+    options.towers.metro_scale = std::min(options.towers.metro_scale, 6.0);
+    options.towers.corridor_towers_per_100km =
+        std::min(options.towers.corridor_towers_per_100km, 4.0);
+  }
+  scenario.region = region;
+  scenario.options = options;
+  scenario.raster = std::make_shared<const terrain::RasterTerrain>(
+      region.make_terrain(), region.box, region.raster_cell_deg);
+
+  scenario.cities = infra::top_cities(all_cities, options.top_cities);
+  scenario.centers = infra::coalesce_cities(scenario.cities,
+                                            options.coalesce_km);
+
+  options.towers.seed = options.seed;
+  auto towers =
+      infra::generate_towers(region, scenario.cities, options.towers);
+  scenario.tower_graph =
+      build_tower_graph(*scenario.raster, std::move(towers), options.hop);
+  return scenario;
+}
+
+std::vector<std::vector<double>> geodesic_matrix(
+    const std::vector<geo::LatLon>& sites) {
+  const std::size_t n = sites.size();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) d[i][j] = geo::distance_km(sites[i], sites[j]);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+Scenario build_us_scenario(ScenarioOptions options) {
+  return build_scenario("us", terrain::contiguous_us(options.seed),
+                        infra::us_cities(), std::move(options));
+}
+
+Scenario build_europe_scenario(ScenarioOptions options) {
+  return build_scenario("europe", terrain::europe(options.seed),
+                        infra::eu_cities(), std::move(options));
+}
+
+SiteProblem make_problem(const Scenario& scenario,
+                         std::vector<std::string> names,
+                         std::vector<geo::LatLon> sites,
+                         std::vector<std::vector<double>> traffic,
+                         double budget_towers) {
+  CISP_REQUIRE(sites.size() == names.size() && sites.size() == traffic.size(),
+               "site/name/traffic size mismatch");
+  auto links =
+      engineer_links(scenario.tower_graph, sites, scenario.options.link);
+
+  // Synthetic conduit network over these sites (InterTubes substitute);
+  // convert conduit km to effective km at c with the 1.5 factor.
+  const infra::FiberNetwork fiber(sites, scenario.options.fiber);
+  const std::size_t n = sites.size();
+  std::vector<std::vector<double>> fiber_eff(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        fiber_eff[i][j] =
+            fiber.distance_km(i, j) * geo::kFiberRefractionFactor;
+      }
+    }
+  }
+
+  DesignInput input(geodesic_matrix(sites), std::move(fiber_eff), traffic,
+                    to_candidates(links), budget_towers);
+  input.prune_dominated_candidates();
+  return SiteProblem{std::move(names), std::move(sites), std::move(links),
+                     std::move(input)};
+}
+
+SiteProblem city_city_problem(const Scenario& scenario, double budget_towers,
+                              std::size_t max_centers) {
+  auto centers = scenario.centers;
+  if (max_centers > 0 && centers.size() > max_centers) {
+    centers.resize(max_centers);
+  }
+  std::vector<std::string> names;
+  std::vector<geo::LatLon> sites;
+  for (const auto& c : centers) {
+    names.push_back(c.name);
+    sites.push_back(c.pos);
+  }
+  return make_problem(scenario, std::move(names), std::move(sites),
+                      infra::population_product_traffic(centers),
+                      budget_towers);
+}
+
+SiteProblem dc_dc_problem(const Scenario& scenario, double budget_towers) {
+  const auto& dcs = infra::google_us_datacenters();
+  std::vector<std::string> names;
+  std::vector<geo::LatLon> sites;
+  for (const auto& dc : dcs) {
+    names.push_back(dc.name);
+    sites.push_back(dc.pos);
+  }
+  const std::size_t n = sites.size();
+  // Equal capacity between each DC pair (§6.3).
+  std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 1.0));
+  for (std::size_t i = 0; i < n; ++i) traffic[i][i] = 0.0;
+  return make_problem(scenario, std::move(names), std::move(sites),
+                      std::move(traffic), budget_towers);
+}
+
+namespace {
+
+/// Shared site layout for problems that mix centers and DCs: centers first,
+/// then the 6 DCs. Returns (names, sites, center_count).
+std::tuple<std::vector<std::string>, std::vector<geo::LatLon>, std::size_t>
+centers_plus_dcs(const Scenario& scenario, std::size_t max_centers) {
+  auto centers = scenario.centers;
+  if (max_centers > 0 && centers.size() > max_centers) {
+    centers.resize(max_centers);
+  }
+  std::vector<std::string> names;
+  std::vector<geo::LatLon> sites;
+  for (const auto& c : centers) {
+    names.push_back(c.name);
+    sites.push_back(c.pos);
+  }
+  const std::size_t n_centers = sites.size();
+  for (const auto& dc : infra::google_us_datacenters()) {
+    names.push_back(dc.name);
+    sites.push_back(dc.pos);
+  }
+  return {std::move(names), std::move(sites), n_centers};
+}
+
+/// City->closest-DC traffic block, proportional to center population,
+/// normalized to max 1.
+std::vector<std::vector<double>> city_dc_traffic(const Scenario& scenario,
+                                                 std::size_t n_centers,
+                                                 std::size_t n_total,
+                                                 const std::vector<geo::LatLon>& sites) {
+  std::vector<std::vector<double>> traffic(
+      n_total, std::vector<double>(n_total, 0.0));
+  double max_entry = 0.0;
+  for (std::size_t c = 0; c < n_centers; ++c) {
+    std::size_t best_dc = n_centers;
+    for (std::size_t d = n_centers; d < n_total; ++d) {
+      if (geo::distance_km(sites[c], sites[d]) <
+          geo::distance_km(sites[c], sites[best_dc])) {
+        best_dc = d;
+      }
+    }
+    const double w = static_cast<double>(scenario.centers[c].population);
+    traffic[c][best_dc] += w;
+    traffic[best_dc][c] += w;
+    max_entry = std::max(max_entry, traffic[c][best_dc]);
+  }
+  if (max_entry > 0.0) {
+    for (auto& row : traffic) {
+      for (double& v : row) v /= max_entry;
+    }
+  }
+  return traffic;
+}
+
+}  // namespace
+
+SiteProblem city_dc_problem(const Scenario& scenario, double budget_towers,
+                            std::size_t max_centers) {
+  auto [names, sites, n_centers] = centers_plus_dcs(scenario, max_centers);
+  auto traffic = city_dc_traffic(scenario, n_centers, sites.size(), sites);
+  return make_problem(scenario, std::move(names), std::move(sites),
+                      std::move(traffic), budget_towers);
+}
+
+SiteProblem mixed_problem(const Scenario& scenario, double budget_towers,
+                          double w_city_city, double w_city_dc, double w_dc_dc,
+                          std::size_t max_centers) {
+  CISP_REQUIRE(w_city_city >= 0 && w_city_dc >= 0 && w_dc_dc >= 0,
+               "negative traffic mix weight");
+  auto [names, sites, n_centers] = centers_plus_dcs(scenario, max_centers);
+  const std::size_t n = sites.size();
+
+  // Each block is normalized to sum 1, then weighted — so the weights are
+  // the aggregate traffic shares of the three classes (§6.4's 4:3:3).
+  const auto normalize_sum = [](std::vector<std::vector<double>>& m) {
+    double sum = 0.0;
+    for (const auto& row : m) {
+      for (double v : row) sum += v;
+    }
+    if (sum > 0.0) {
+      for (auto& row : m) {
+        for (double& v : row) v /= sum;
+      }
+    }
+  };
+
+  std::vector<infra::PopulationCenter> centers = scenario.centers;
+  if (max_centers > 0 && centers.size() > max_centers) centers.resize(max_centers);
+  auto cc = infra::population_product_traffic(centers);
+  std::vector<std::vector<double>> city_city(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n_centers; ++i) {
+    for (std::size_t j = 0; j < n_centers; ++j) city_city[i][j] = cc[i][j];
+  }
+  auto cd = city_dc_traffic(scenario, n_centers, n, sites);
+  std::vector<std::vector<double>> dc_dc(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = n_centers; i < n; ++i) {
+    for (std::size_t j = n_centers; j < n; ++j) {
+      if (i != j) dc_dc[i][j] = 1.0;
+    }
+  }
+  normalize_sum(city_city);
+  normalize_sum(cd);
+  normalize_sum(dc_dc);
+
+  std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
+  double max_entry = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      traffic[i][j] = w_city_city * city_city[i][j] + w_city_dc * cd[i][j] +
+                      w_dc_dc * dc_dc[i][j];
+      max_entry = std::max(max_entry, traffic[i][j]);
+    }
+  }
+  CISP_REQUIRE(max_entry > 0.0, "mixed traffic is all-zero");
+  for (auto& row : traffic) {
+    for (double& v : row) v /= max_entry;
+  }
+  return make_problem(scenario, std::move(names), std::move(sites),
+                      std::move(traffic), budget_towers);
+}
+
+}  // namespace cisp::design

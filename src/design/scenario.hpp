@@ -1,0 +1,91 @@
+#pragma once
+// Scenario assembly: wires terrain, tower registry, hop graph, fiber and
+// traffic models into ready-to-solve DesignInputs for the paper's concrete
+// instantiations — US city-city (§4), Europe (§6.2), inter-DC and
+// city-to-DC (§6.3), and the mixed traffic of §6.4.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "design/capacity.hpp"
+#include "design/hop_engineering.hpp"
+#include "design/link_engineering.hpp"
+#include "design/problem.hpp"
+#include "infra/city.hpp"
+#include "infra/databases.hpp"
+#include "infra/fiber.hpp"
+#include "terrain/regions.hpp"
+
+namespace cisp::design {
+
+struct ScenarioOptions {
+  std::uint64_t seed = 2022;
+  std::size_t top_cities = 200;   ///< cities taken before coalescing
+  double coalesce_km = 50.0;
+  HopParams hop;
+  LinkParams link;
+  infra::TowerGenParams towers;
+  infra::FiberParams fiber;
+  /// Fast mode for tests: coarser terrain raster and hop profiles, smaller
+  /// tower registry. Keeps every code path exercised at ~20x less work.
+  bool fast = false;
+};
+
+/// Heavy, site-set-independent state: terrain + towers + feasible hops.
+struct Scenario {
+  std::string name;
+  terrain::Region region;
+  std::shared_ptr<const terrain::RasterTerrain> raster;
+  std::vector<infra::City> cities;               ///< the source city list
+  std::vector<infra::PopulationCenter> centers;  ///< coalesced sites
+  TowerGraph tower_graph;
+  ScenarioOptions options;
+};
+
+/// A solvable instance over a concrete site set.
+struct SiteProblem {
+  std::vector<std::string> names;
+  std::vector<geo::LatLon> sites;
+  std::vector<SiteLink> links;      ///< engineered MW links (Step 1)
+  DesignInput input;                ///< candidates + fiber + traffic + budget
+};
+
+/// Builds the contiguous-US scenario (paper §4).
+[[nodiscard]] Scenario build_us_scenario(ScenarioOptions options = {});
+/// Builds the Europe scenario (paper §6.2).
+[[nodiscard]] Scenario build_europe_scenario(ScenarioOptions options = {});
+
+/// City-city population-product instance over the first `max_centers`
+/// population centers (0 = all).
+[[nodiscard]] SiteProblem city_city_problem(const Scenario& scenario,
+                                            double budget_towers,
+                                            std::size_t max_centers = 0);
+
+/// Inter-data-center instance (6 Google US sites, uniform demands).
+[[nodiscard]] SiteProblem dc_dc_problem(const Scenario& scenario,
+                                        double budget_towers);
+
+/// City-to-nearest-DC instance: each center sends traffic proportional to
+/// its population to the closest DC.
+[[nodiscard]] SiteProblem city_dc_problem(const Scenario& scenario,
+                                          double budget_towers,
+                                          std::size_t max_centers = 0);
+
+/// Mixed instance (§6.4): sites = centers + DCs; traffic is the weighted
+/// blend city-city : city-DC : DC-DC (paper designs for 4:3:3).
+[[nodiscard]] SiteProblem mixed_problem(const Scenario& scenario,
+                                        double budget_towers,
+                                        double w_city_city, double w_city_dc,
+                                        double w_dc_dc,
+                                        std::size_t max_centers = 0);
+
+/// Assembles a SiteProblem from explicit sites + traffic (shared plumbing;
+/// exposed for custom experiments).
+[[nodiscard]] SiteProblem make_problem(const Scenario& scenario,
+                                       std::vector<std::string> names,
+                                       std::vector<geo::LatLon> sites,
+                                       std::vector<std::vector<double>> traffic,
+                                       double budget_towers);
+
+}  // namespace cisp::design

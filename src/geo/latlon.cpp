@@ -1,0 +1,20 @@
+#include "geo/latlon.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace cisp::geo {
+
+void validate(const LatLon& p) {
+  CISP_REQUIRE(p.lat_deg >= -90.0 && p.lat_deg <= 90.0,
+               "latitude out of range");
+  CISP_REQUIRE(p.lon_deg >= -180.0 && p.lon_deg <= 180.0,
+               "longitude out of range");
+}
+
+std::ostream& operator<<(std::ostream& os, const LatLon& p) {
+  return os << '(' << p.lat_deg << ", " << p.lon_deg << ')';
+}
+
+}  // namespace cisp::geo

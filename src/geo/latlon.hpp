@@ -1,0 +1,39 @@
+#pragma once
+// Geographic coordinates. The whole library works on a spherical Earth
+// (mean radius); the paper's latency arithmetic ("c-latency" = geodesic
+// distance / c) is defined the same way.
+
+#include <iosfwd>
+
+namespace cisp::geo {
+
+/// Mean Earth radius in km (IUGG).
+inline constexpr double kEarthRadiusKm = 6371.0088;
+/// Speed of light in vacuum, km per second.
+inline constexpr double kSpeedOfLightKmPerS = 299792.458;
+/// Refractive slowdown of light in silica fiber (paper uses 1.5: v = 2c/3).
+inline constexpr double kFiberRefractionFactor = 1.5;
+
+/// A point on the Earth's surface, degrees. Latitude in [-90, 90],
+/// longitude in [-180, 180].
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// Throws cisp::Error if the coordinates are outside the valid ranges.
+void validate(const LatLon& p);
+
+std::ostream& operator<<(std::ostream& os, const LatLon& p);
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept {
+  return deg * 3.14159265358979323846 / 180.0;
+}
+
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept {
+  return rad * 180.0 / 3.14159265358979323846;
+}
+
+}  // namespace cisp::geo

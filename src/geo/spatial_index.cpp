@@ -1,0 +1,79 @@
+#include "geo/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace cisp::geo {
+
+SpatialIndex::SpatialIndex(std::vector<LatLon> points, double cell_deg)
+    : points_(std::move(points)), cell_deg_(cell_deg) {
+  CISP_REQUIRE(cell_deg_ > 0.0, "cell size must be positive");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cells_[key_for(points_[i].lat_deg, points_[i].lon_deg)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+SpatialIndex::CellKey SpatialIndex::key_for(double lat_deg,
+                                            double lon_deg) const noexcept {
+  const auto row = static_cast<std::int64_t>(std::floor(lat_deg / cell_deg_));
+  const auto col = static_cast<std::int64_t>(std::floor(lon_deg / cell_deg_));
+  return row * 100000 + col;
+}
+
+std::vector<std::size_t> SpatialIndex::within(const LatLon& center,
+                                              double radius_km) const {
+  CISP_REQUIRE(radius_km >= 0.0, "radius must be non-negative");
+  // Degrees of latitude per km is constant; longitude shrinks with cos(lat).
+  const double lat_pad = radius_km / 111.0;
+  const double cos_lat =
+      std::max(0.1, std::cos(deg_to_rad(center.lat_deg)));
+  const double lon_pad = radius_km / (111.0 * cos_lat);
+
+  std::vector<std::size_t> result;
+  const auto row_lo =
+      static_cast<std::int64_t>(std::floor((center.lat_deg - lat_pad) / cell_deg_));
+  const auto row_hi =
+      static_cast<std::int64_t>(std::floor((center.lat_deg + lat_pad) / cell_deg_));
+  const auto col_lo =
+      static_cast<std::int64_t>(std::floor((center.lon_deg - lon_pad) / cell_deg_));
+  const auto col_hi =
+      static_cast<std::int64_t>(std::floor((center.lon_deg + lon_pad) / cell_deg_));
+  for (std::int64_t row = row_lo; row <= row_hi; ++row) {
+    for (std::int64_t col = col_lo; col <= col_hi; ++col) {
+      const auto it = cells_.find(row * 100000 + col);
+      if (it == cells_.end()) continue;
+      for (std::uint32_t idx : it->second) {
+        if (distance_km(center, points_[idx]) <= radius_km) {
+          result.push_back(idx);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::size_t SpatialIndex::nearest(const LatLon& center) const {
+  std::size_t best = points_.size();
+  double best_dist = std::numeric_limits<double>::infinity();
+  // Expand the search radius until a hit; all points live on a continent so
+  // a handful of doublings suffice.
+  for (double radius = 50.0; radius <= 25000.0; radius *= 2.0) {
+    const auto candidates = within(center, radius);
+    for (std::size_t idx : candidates) {
+      const double d = distance_km(center, points_[idx]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = idx;
+      }
+    }
+    if (best != points_.size()) return best;
+  }
+  return best;
+}
+
+}  // namespace cisp::geo

@@ -1,0 +1,43 @@
+#pragma once
+// Spatial hash over lat/lon for radius queries ("all towers within 100 km").
+// Buckets are fixed-size cells in degree space; radius queries scan the
+// covering cell rectangle and filter by true geodesic distance.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geodesic.hpp"
+#include "geo/latlon.hpp"
+
+namespace cisp::geo {
+
+/// Index over a fixed set of points, built once.
+class SpatialIndex {
+ public:
+  /// `cell_deg` is the bucket size in degrees; 1 degree of latitude is
+  /// ~111 km, so the default suits 60-100 km radius queries.
+  explicit SpatialIndex(std::vector<LatLon> points, double cell_deg = 1.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] const LatLon& point(std::size_t i) const { return points_[i]; }
+
+  /// Indices of all points within `radius_km` of `center` (excluding none;
+  /// the center itself is returned if it is one of the indexed points).
+  [[nodiscard]] std::vector<std::size_t> within(const LatLon& center,
+                                               double radius_km) const;
+
+  /// Index of the nearest point, or size() if the index is empty.
+  [[nodiscard]] std::size_t nearest(const LatLon& center) const;
+
+ private:
+  using CellKey = std::int64_t;
+  [[nodiscard]] CellKey key_for(double lat_deg, double lon_deg) const noexcept;
+
+  std::vector<LatLon> points_;
+  double cell_deg_;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace cisp::geo

@@ -1,0 +1,31 @@
+#include "graph/graph.hpp"
+
+#include "util/error.hpp"
+
+namespace cisp::graphs {
+
+Graph::Graph(std::size_t node_count) : out_(node_count) {}
+
+EdgeId Graph::add_edge(NodeId from, NodeId to, double weight) {
+  CISP_REQUIRE(from < node_count() && to < node_count(),
+               "edge endpoint out of range");
+  CISP_REQUIRE(weight >= 0.0, "edge weight must be non-negative");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({from, to, weight});
+  out_[from].push_back(id);
+  return id;
+}
+
+EdgeId Graph::add_undirected(NodeId a, NodeId b, double weight) {
+  const EdgeId first = add_edge(a, b, weight);
+  add_edge(b, a, weight);
+  return first;
+}
+
+void Graph::set_weight(EdgeId id, double weight) {
+  CISP_REQUIRE(id < edges_.size(), "edge id out of range");
+  CISP_REQUIRE(weight >= 0.0, "edge weight must be non-negative");
+  edges_[id].weight = weight;
+}
+
+}  // namespace cisp::graphs

@@ -1,0 +1,67 @@
+#pragma once
+// Compact directed graph with weighted edges. Shared by the fiber network,
+// the tower-hop graph (Step 1), topology design (Step 2), and the routing
+// schemes in the packet simulator (§5).
+
+#include <cstdint>
+#include <vector>
+
+namespace cisp::graphs {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  double weight = 0.0;
+};
+
+/// Adjacency-list digraph. Node count is fixed at construction; edges are
+/// appended. Undirected links are stored as two arcs (use the helper).
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count);
+
+  /// Appends a directed edge; returns its id. Throws on invalid endpoints
+  /// or negative weight (all our metrics — km, ms, $ — are non-negative).
+  EdgeId add_edge(NodeId from, NodeId to, double weight);
+  /// Appends both arcs with the same weight; returns the id of the first
+  /// (the second is always first + 1, an invariant tests rely on).
+  EdgeId add_undirected(NodeId a, NodeId b, double weight);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const { return edges_[id]; }
+  /// Mutable weight access (routing schemes re-weight edges in place).
+  void set_weight(EdgeId id, double weight);
+
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId node) const {
+    return out_[node];
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+/// A path as a node sequence plus its total weight. `edges` optionally
+/// pins down WHICH edge joins each consecutive node pair — essential in
+/// multigraphs (e.g. a MW link and a fiber link between the same two
+/// sites); when empty, consumers resolve each hop to the minimum-weight
+/// edge.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;  ///< size nodes.size()-1 when present
+  double length = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+};
+
+}  // namespace cisp::graphs

@@ -1,0 +1,109 @@
+#include "graph/ksp.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace cisp::graphs {
+
+namespace {
+/// Lexicographic ordering for the candidate set (length, then nodes) so
+/// duplicates are detectable.
+struct PathLess {
+  bool operator()(const Path& a, const Path& b) const {
+    if (a.length != b.length) return a.length < b.length;
+    return a.nodes < b.nodes;
+  }
+};
+}  // namespace
+
+std::vector<Path> yen_ksp(const Graph& graph, NodeId source, NodeId target,
+                          std::size_t k) {
+  CISP_REQUIRE(k >= 1, "k must be at least 1");
+  std::vector<Path> result;
+  const Path first = shortest_path(graph, source, target);
+  if (first.empty()) return result;
+  result.push_back(first);
+
+  std::set<Path, PathLess> candidates;
+  while (result.size() < k) {
+    const Path& last = result.back();
+    // Each node of the previous path (except the final one) spawns a spur.
+    for (std::size_t i = 0; i + 1 < last.nodes.size(); ++i) {
+      const NodeId spur_node = last.nodes[i];
+      const std::vector<NodeId> root(last.nodes.begin(),
+                                     last.nodes.begin() +
+                                         static_cast<std::ptrdiff_t>(i + 1));
+
+      // Mask edges that would recreate an already-accepted path with the
+      // same root, and mask root nodes (except the spur) to keep paths
+      // loopless.
+      std::unordered_set<EdgeId> banned_edges;
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(root.begin(), root.end(), p.nodes.begin())) {
+          if (p.nodes.size() > i + 1) {
+            // Ban the edge p.nodes[i] -> p.nodes[i+1].
+            for (const EdgeId eid : graph.out_edges(spur_node)) {
+              if (graph.edge(eid).to == p.nodes[i + 1]) banned_edges.insert(eid);
+            }
+          }
+        }
+      }
+      std::unordered_set<NodeId> banned_nodes(root.begin(), root.end() - 1);
+
+      const auto mask = [&](EdgeId eid) {
+        if (banned_edges.count(eid) > 0) return false;
+        const Edge& e = graph.edge(eid);
+        return banned_nodes.count(e.from) == 0 && banned_nodes.count(e.to) == 0;
+      };
+      const Path spur = shortest_path(graph, spur_node, target, mask);
+      if (spur.empty()) continue;
+
+      Path total;
+      total.nodes = root;
+      total.nodes.insert(total.nodes.end(), spur.nodes.begin() + 1,
+                         spur.nodes.end());
+      // Root length: sum of edge weights along the root prefix.
+      double root_len = 0.0;
+      for (std::size_t j = 0; j + 1 < root.size(); ++j) {
+        double best = kUnreachable;
+        for (const EdgeId eid : graph.out_edges(root[j])) {
+          if (graph.edge(eid).to == root[j + 1]) {
+            best = std::min(best, graph.edge(eid).weight);
+          }
+        }
+        root_len += best;
+      }
+      total.length = root_len + spur.length;
+      candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<Path> node_disjoint_paths(const Graph& graph, NodeId source,
+                                      NodeId target, std::size_t k) {
+  std::vector<Path> result;
+  std::unordered_set<NodeId> removed;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto mask = [&](EdgeId eid) {
+      const Edge& e = graph.edge(eid);
+      return removed.count(e.from) == 0 && removed.count(e.to) == 0;
+    };
+    const Path p = shortest_path(graph, source, target, mask);
+    if (p.empty()) break;
+    for (std::size_t j = 1; j + 1 < p.nodes.size(); ++j) {
+      removed.insert(p.nodes[j]);
+    }
+    result.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace cisp::graphs

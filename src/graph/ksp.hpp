@@ -1,0 +1,23 @@
+#pragma once
+// Yen's k-shortest loopless paths and successively disjoint shortest paths
+// (the paper's Fig. 4(b) tower-disjoint iteration uses the same pattern at
+// the tower level).
+
+#include "graph/dijkstra.hpp"
+
+namespace cisp::graphs {
+
+/// Yen's algorithm: up to k loopless shortest paths, sorted by length.
+/// Fewer are returned when the graph runs out of alternatives.
+[[nodiscard]] std::vector<Path> yen_ksp(const Graph& graph, NodeId source,
+                                        NodeId target, std::size_t k);
+
+/// Successive *node*-disjoint shortest paths: find the shortest path,
+/// remove its interior nodes, repeat (up to k times). Endpoint nodes are
+/// never removed. Returns fewer than k paths once the graph disconnects.
+[[nodiscard]] std::vector<Path> node_disjoint_paths(const Graph& graph,
+                                                    NodeId source,
+                                                    NodeId target,
+                                                    std::size_t k);
+
+}  // namespace cisp::graphs

@@ -1,0 +1,85 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace cisp::graphs {
+
+MaxFlow::MaxFlow(std::size_t node_count) : adjacency_(node_count) {}
+
+std::size_t MaxFlow::add_arc(std::uint32_t from, std::uint32_t to,
+                             double capacity) {
+  CISP_REQUIRE(from < adjacency_.size() && to < adjacency_.size(),
+               "arc endpoint out of range");
+  CISP_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  const std::size_t id = arcs_.size();
+  adjacency_[from].push_back(static_cast<std::uint32_t>(id));
+  arcs_.push_back({to, capacity, 0.0});
+  adjacency_[to].push_back(static_cast<std::uint32_t>(id + 1));
+  arcs_.push_back({from, 0.0, 0.0});  // residual arc
+  return id;
+}
+
+bool MaxFlow::build_levels(std::uint32_t source, std::uint32_t sink) {
+  level_.assign(adjacency_.size(), -1);
+  std::queue<std::uint32_t> queue;
+  level_[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::uint32_t node = queue.front();
+    queue.pop();
+    for (const std::uint32_t arc_id : adjacency_[node]) {
+      const Arc& arc = arcs_[arc_id];
+      if (level_[arc.to] < 0 && arc.capacity - arc.flow > 1e-12) {
+        level_[arc.to] = level_[node] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double MaxFlow::push(std::uint32_t node, std::uint32_t sink, double limit) {
+  if (node == sink || limit <= 1e-12) return limit;
+  for (; next_[node] < adjacency_[node].size(); ++next_[node]) {
+    const std::uint32_t arc_id = adjacency_[node][next_[node]];
+    Arc& arc = arcs_[arc_id];
+    if (level_[arc.to] != level_[node] + 1) continue;
+    const double residual = arc.capacity - arc.flow;
+    if (residual <= 1e-12) continue;
+    const double pushed = push(arc.to, sink, std::min(limit, residual));
+    if (pushed > 1e-12) {
+      arc.flow += pushed;
+      arcs_[arc_id ^ 1].flow -= pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(std::uint32_t source, std::uint32_t sink) {
+  CISP_REQUIRE(source < adjacency_.size() && sink < adjacency_.size(),
+               "terminal out of range");
+  CISP_REQUIRE(source != sink, "source equals sink");
+  double total = 0.0;
+  while (build_levels(source, sink)) {
+    next_.assign(adjacency_.size(), 0);
+    while (true) {
+      const double pushed =
+          push(source, sink, std::numeric_limits<double>::infinity());
+      if (pushed <= 1e-12) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::flow_on(std::size_t arc) const {
+  CISP_REQUIRE(arc < arcs_.size(), "arc handle out of range");
+  return std::max(0.0, arcs_[arc].flow);
+}
+
+}  // namespace cisp::graphs

@@ -1,0 +1,41 @@
+#pragma once
+// Dinic's max-flow. Used to bound single-commodity throughput (and as a
+// cross-check for the multi-commodity solver in tests).
+
+#include <cstdint>
+#include <vector>
+
+namespace cisp::graphs {
+
+/// Max-flow instance with its own arc storage (residual arcs interleaved).
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t node_count);
+
+  /// Adds a directed arc with the given capacity; returns an arc handle
+  /// usable with `flow_on`.
+  std::size_t add_arc(std::uint32_t from, std::uint32_t to, double capacity);
+
+  /// Computes the maximum s-t flow (Dinic). Can be called once per instance.
+  double solve(std::uint32_t source, std::uint32_t sink);
+
+  /// Flow routed on the arc returned by add_arc.
+  [[nodiscard]] double flow_on(std::size_t arc) const;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    double capacity;
+    double flow;
+  };
+
+  bool build_levels(std::uint32_t source, std::uint32_t sink);
+  double push(std::uint32_t node, std::uint32_t sink, double limit);
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<int> level_;
+  std::vector<std::uint32_t> next_;
+};
+
+}  // namespace cisp::graphs

@@ -1,0 +1,35 @@
+#pragma once
+// Garg-Könemann / Fleischer maximum concurrent multi-commodity flow.
+//
+// This powers the "throughput optimal" routing scheme of §5: it finds the
+// largest lambda such that lambda * demand_k is simultaneously routable for
+// every commodity k within edge capacities, up to a (1 - epsilon) factor.
+
+#include "graph/graph.hpp"
+
+namespace cisp::graphs {
+
+struct Demand {
+  NodeId source = 0;
+  NodeId target = 0;
+  double amount = 0.0;
+};
+
+struct McfResult {
+  /// Achieved concurrent throughput factor (>= (1-eps) * optimum).
+  double lambda = 0.0;
+  /// flow[k][e]: flow of commodity k on edge e, scaled so that commodity k
+  /// carries lambda * demand_k in total.
+  std::vector<std::vector<double>> flow;
+  /// Per-commodity single path carrying the largest flow share (greedy path
+  /// decomposition) — used when unsplittable routes are needed.
+  std::vector<Path> primary_path;
+};
+
+/// Runs max concurrent flow on `graph` where edge weights are *capacities*.
+/// epsilon in (0, 0.5]; smaller is more accurate but slower.
+[[nodiscard]] McfResult max_concurrent_flow(const Graph& graph,
+                                            const std::vector<Demand>& demands,
+                                            double epsilon = 0.1);
+
+}  // namespace cisp::graphs

@@ -1,0 +1,111 @@
+#include "infra/city.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geo/geodesic.hpp"
+#include "util/error.hpp"
+
+namespace cisp::infra {
+
+namespace {
+/// Plain union-find for the proximity components.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+}  // namespace
+
+std::vector<PopulationCenter> coalesce_cities(const std::vector<City>& cities,
+                                              double radius_km) {
+  CISP_REQUIRE(radius_km >= 0.0, "coalescing radius must be non-negative");
+  UnionFind uf(cities.size());
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    for (std::size_t j = i + 1; j < cities.size(); ++j) {
+      if (geo::distance_km(cities[i].pos, cities[j].pos) <= radius_km) {
+        uf.unite(i, j);
+      }
+    }
+  }
+  std::vector<PopulationCenter> centers;
+  std::vector<std::size_t> root_to_center(cities.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    if (root_to_center[root] == SIZE_MAX) {
+      root_to_center[root] = centers.size();
+      centers.emplace_back();
+    }
+    centers[root_to_center[root]].member_cities.push_back(i);
+  }
+  for (auto& center : centers) {
+    double lat_acc = 0.0;
+    double lon_acc = 0.0;
+    std::uint64_t pop = 0;
+    std::size_t biggest = center.member_cities.front();
+    for (std::size_t idx : center.member_cities) {
+      const City& c = cities[idx];
+      const auto w = static_cast<double>(c.population);
+      lat_acc += c.pos.lat_deg * w;
+      lon_acc += c.pos.lon_deg * w;
+      pop += c.population;
+      if (c.population > cities[biggest].population) biggest = idx;
+    }
+    CISP_REQUIRE(pop > 0, "population center with zero population");
+    center.name = cities[biggest].name;
+    center.pos = {lat_acc / static_cast<double>(pop),
+                  lon_acc / static_cast<double>(pop)};
+    center.population = pop;
+  }
+  std::sort(centers.begin(), centers.end(),
+            [](const PopulationCenter& a, const PopulationCenter& b) {
+              return a.population > b.population;
+            });
+  return centers;
+}
+
+std::vector<City> top_cities(const std::vector<City>& cities,
+                             std::size_t top_n) {
+  std::vector<City> sorted = cities;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const City& a, const City& b) {
+                     return a.population > b.population;
+                   });
+  if (sorted.size() > top_n) sorted.resize(top_n);
+  return sorted;
+}
+
+std::vector<std::vector<double>> population_product_traffic(
+    const std::vector<PopulationCenter>& centers) {
+  const std::size_t n = centers.size();
+  std::vector<std::vector<double>> h(n, std::vector<double>(n, 0.0));
+  double max_entry = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      h[i][j] = static_cast<double>(centers[i].population) *
+                static_cast<double>(centers[j].population);
+      max_entry = std::max(max_entry, h[i][j]);
+    }
+  }
+  if (max_entry > 0.0) {
+    for (auto& row : h) {
+      for (double& v : row) v /= max_entry;
+    }
+  }
+  return h;
+}
+
+}  // namespace cisp::infra

@@ -1,0 +1,47 @@
+#pragma once
+// Cities and population centers (§4): the paper connects the 200 most
+// populous cities of the contiguous US, coalescing suburbs and cities
+// within 50 km of each other into ~120 population centers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.hpp"
+
+namespace cisp::infra {
+
+/// A city with its (approximate) coordinates and population.
+struct City {
+  std::string name;
+  geo::LatLon pos;
+  std::uint64_t population = 0;
+};
+
+/// A coalesced population center: named after its most populous member,
+/// located at the population-weighted centroid, carrying the summed
+/// population.
+struct PopulationCenter {
+  std::string name;
+  geo::LatLon pos;
+  std::uint64_t population = 0;
+  std::vector<std::size_t> member_cities;  ///< indices into the input list
+};
+
+/// Groups cities whose pairwise distance is below `radius_km` (transitively,
+/// i.e. connected components of the proximity graph) into population
+/// centers, sorted by descending population.
+[[nodiscard]] std::vector<PopulationCenter> coalesce_cities(
+    const std::vector<City>& cities, double radius_km = 50.0);
+
+/// The `top_n` most populous cities of the list (stable on ties).
+[[nodiscard]] std::vector<City> top_cities(const std::vector<City>& cities,
+                                           std::size_t top_n);
+
+/// Gravity-style traffic matrix: h_ij proportional to population_i *
+/// population_j, normalized so the largest entry is 1 (paper §3.2's
+/// h_ij in [0,1]). Diagonal is zero.
+[[nodiscard]] std::vector<std::vector<double>> population_product_traffic(
+    const std::vector<PopulationCenter>& centers);
+
+}  // namespace cisp::infra

@@ -1,0 +1,27 @@
+#pragma once
+// Embedded infrastructure databases: the 200 most populous cities of the
+// contiguous United States (2010 census, approximate coordinates), European
+// cities with population >= ~300k (§6.2), and the six publicly known US
+// Google data center locations the paper uses for the inter-DC scenario
+// (§6.3). These replace the external datasets (US census files, OpenCelliD)
+// that are not available offline; coordinates are public knowledge and
+// accurate to ~0.1 degree, which is ample for continental network design.
+
+#include <vector>
+
+#include "infra/city.hpp"
+
+namespace cisp::infra {
+
+/// Top-200 contiguous-US cities by 2010 population.
+[[nodiscard]] const std::vector<City>& us_cities();
+
+/// European cities with population >= ~300k (west of ~29 degrees E).
+[[nodiscard]] const std::vector<City>& eu_cities();
+
+/// The six US Google data center sites named in the paper: Berkeley County
+/// SC, Council Bluffs IA, Douglas County GA, Lenoir NC, Mayes County OK,
+/// The Dalles OR. Population field is 0 (unused for DCs).
+[[nodiscard]] const std::vector<City>& google_us_datacenters();
+
+}  // namespace cisp::infra

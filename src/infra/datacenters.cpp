@@ -1,0 +1,18 @@
+#include "infra/databases.hpp"
+
+namespace cisp::infra {
+
+// The six publicly known US Google data center locations listed in §6.3.
+const std::vector<City>& google_us_datacenters() {
+  static const std::vector<City> kDatacenters = {
+      {"Berkeley County SC", {33.06, -80.04}, 0},
+      {"Council Bluffs IA", {41.26, -95.86}, 0},
+      {"Douglas County GA", {33.75, -84.75}, 0},
+      {"Lenoir NC", {35.91, -81.54}, 0},
+      {"Mayes County OK", {36.30, -95.32}, 0},
+      {"The Dalles OR", {45.59, -121.18}, 0},
+  };
+  return kDatacenters;
+}
+
+}  // namespace cisp::infra

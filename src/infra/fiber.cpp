@@ -1,0 +1,99 @@
+#include "infra/fiber.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.hpp"
+#include "graph/dijkstra.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::infra {
+
+namespace {
+
+/// Gabriel graph test: edge (a, b) is kept iff no third site lies strictly
+/// inside the circle whose diameter is ab. Evaluated with geodesic
+/// distances (valid at continental scale where the sphere is locally flat).
+bool gabriel_edge(const std::vector<geo::LatLon>& sites, std::size_t a,
+                  std::size_t b) {
+  const double d_ab = geo::distance_km(sites[a], sites[b]);
+  const geo::LatLon mid = geo::interpolate(sites[a], sites[b], 0.5);
+  const double radius = d_ab / 2.0;
+  for (std::size_t w = 0; w < sites.size(); ++w) {
+    if (w == a || w == b) continue;
+    if (geo::distance_km(mid, sites[w]) < radius - 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FiberNetwork::FiberNetwork(std::vector<geo::LatLon> sites,
+                           const FiberParams& params)
+    : sites_(std::move(sites)), graph_(sites_.size()) {
+  CISP_REQUIRE(sites_.size() >= 2, "fiber network needs at least two sites");
+  const std::size_t n = sites_.size();
+  Rng rng(params.seed);
+
+  const auto detour = [&](std::size_t a, std::size_t b) {
+    // Per-edge deterministic detour factor (stable across runs).
+    Rng edge_rng(hash_combine(params.seed, a * n + b));
+    return params.detour_min +
+           params.detour_spread * std::pow(edge_rng.uniform(), 1.5);
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (gabriel_edge(sites_, a, b)) edges.push_back({a, b});
+    }
+  }
+  CISP_REQUIRE(!edges.empty(), "degenerate site set (all coincident?)");
+
+  // Long-haul shortcuts: a fraction of extra edges between moderately
+  // distant pairs, mimicking dedicated long-haul routes in InterTubes.
+  const auto shortcut_count = static_cast<std::size_t>(
+      params.shortcut_fraction * static_cast<double>(edges.size()));
+  std::vector<std::pair<std::size_t, std::size_t>> shortcuts;
+  std::size_t attempts = 0;
+  while (shortcuts.size() < shortcut_count && attempts++ < shortcut_count * 50) {
+    const std::size_t a = rng.uniform_index(n);
+    const std::size_t b = rng.uniform_index(n);
+    if (a == b) continue;
+    const double d = geo::distance_km(sites_[a], sites_[b]);
+    if (d < 400.0 || d > 1800.0) continue;  // long-haul range
+    shortcuts.push_back({std::min(a, b), std::max(a, b)});
+  }
+  edges.insert(edges.end(), shortcuts.begin(), shortcuts.end());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  for (const auto& [a, b] : edges) {
+    const double conduit_km =
+        geo::distance_km(sites_[a], sites_[b]) * detour(a, b);
+    graph_.add_undirected(static_cast<graphs::NodeId>(a),
+                          static_cast<graphs::NodeId>(b), conduit_km);
+  }
+
+  // APSP over conduits.
+  dist_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    dist_[s] = graphs::dijkstra(graph_, static_cast<graphs::NodeId>(s)).dist;
+    for (std::size_t t = 0; t < n; ++t) {
+      CISP_REQUIRE(dist_[s][t] < graphs::kUnreachable,
+                   "fiber network is disconnected");
+    }
+  }
+}
+
+double FiberNetwork::distance_km(std::size_t a, std::size_t b) const {
+  CISP_REQUIRE(a < site_count() && b < site_count(), "site out of range");
+  return dist_[a][b];
+}
+
+double FiberNetwork::latency_ms(std::size_t a, std::size_t b) const {
+  return geo::fiber_latency_for_km(distance_km(a, b));
+}
+
+}  // namespace cisp::infra

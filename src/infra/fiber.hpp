@@ -1,0 +1,55 @@
+#pragma once
+// Synthetic long-haul fiber conduit network. Substitutes for the InterTubes
+// dataset (§4): a Gabriel-graph mesh over the sites with road-like per-edge
+// detour factors, calibrated so that latency-optimal fiber paths land near
+// the paper's 1.9-2.0x c-latency (distance inflation ~1.3x times the 1.5x
+// refraction factor).
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "graph/graph.hpp"
+
+namespace cisp::infra {
+
+struct FiberParams {
+  std::uint64_t seed = 11;
+  /// Conduit length = geodesic * detour, detour ~ U-shaped in
+  /// [detour_min, detour_min + detour_spread * u^1.5].
+  double detour_min = 1.10;
+  double detour_spread = 0.35;
+  /// Extra shortcut edges between kth-nearest neighbors (long-haul routes
+  /// that skip intermediate cities), as a fraction of Gabriel edge count.
+  double shortcut_fraction = 0.20;
+};
+
+/// Conduit mesh over a fixed set of sites. Distances are conduit km; use
+/// geo::fiber_latency_for_km for one-way latency (the paper's 1.5x factor).
+class FiberNetwork {
+ public:
+  FiberNetwork(std::vector<geo::LatLon> sites, const FiberParams& params = {});
+
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return sites_.size();
+  }
+
+  /// Shortest conduit distance between two sites, km (precomputed APSP).
+  [[nodiscard]] double distance_km(std::size_t a, std::size_t b) const;
+
+  /// One-way fiber latency between two sites, ms (includes the 1.5 factor).
+  [[nodiscard]] double latency_ms(std::size_t a, std::size_t b) const;
+
+  /// The underlying conduit graph (edge weights are conduit km); node ids
+  /// coincide with site indices.
+  [[nodiscard]] const graphs::Graph& conduit_graph() const noexcept {
+    return graph_;
+  }
+
+ private:
+  std::vector<geo::LatLon> sites_;
+  graphs::Graph graph_;
+  std::vector<std::vector<double>> dist_;  ///< APSP over conduits
+};
+
+}  // namespace cisp::infra

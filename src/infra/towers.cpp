@@ -1,0 +1,144 @@
+#include "infra/towers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geo/geodesic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::infra {
+
+namespace {
+
+double sample_height(Rng& rng, const TowerGenParams& p) {
+  const double u = rng.uniform();
+  return p.min_height_m +
+         (p.max_height_m - p.min_height_m) * std::pow(u, 1.5);
+}
+
+/// Picks the highest-ground position among a few candidates near `pos`
+/// (towers are sited on high ground in practice).
+geo::LatLon hilltop_adjust(const terrain::Heightfield& terrain, Rng& rng,
+                           const geo::LatLon& pos, const TowerGenParams& p) {
+  geo::LatLon best = pos;
+  double best_elev = terrain.elevation_m(pos);
+  for (std::size_t i = 1; i < p.hilltop_samples; ++i) {
+    const geo::LatLon candidate = geo::destination(
+        pos, rng.uniform(0.0, 360.0),
+        rng.uniform(0.0, p.hilltop_radius_km));
+    const double elev = terrain.elevation_m(candidate);
+    if (elev > best_elev) {
+      best_elev = elev;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Tower> generate_towers(const terrain::Region& region,
+                                   const std::vector<City>& cities,
+                                   const TowerGenParams& params) {
+  CISP_REQUIRE(!cities.empty(), "tower generation needs cities");
+  CISP_REQUIRE(params.metro_sigma_km > 0.0, "metro sigma must be positive");
+  CISP_REQUIRE(params.hilltop_samples >= 1, "hilltop_samples must be >= 1");
+  Rng rng(params.seed);
+  const terrain::BoundingBox& box = region.box;
+  const terrain::SyntheticTerrain terrain = region.make_terrain();
+  std::vector<Tower> towers;
+
+  const auto keep_if_inside = [&](const geo::LatLon& raw_pos, double height) {
+    const geo::LatLon pos = hilltop_adjust(terrain, rng, raw_pos, params);
+    if (box.contains(pos)) towers.push_back({pos, height});
+  };
+
+  // 1. Metro towers: Gaussian cloud around each city, count scaling with
+  //    sqrt(population) — big metros have hundreds of candidate structures.
+  for (const City& city : cities) {
+    const double pop_100k = static_cast<double>(city.population) / 100000.0;
+    const auto count = static_cast<std::size_t>(
+        params.metro_base + params.metro_scale * std::sqrt(pop_100k));
+    for (std::size_t i = 0; i < count; ++i) {
+      const double bearing = rng.uniform(0.0, 360.0);
+      const double radius =
+          std::fabs(rng.normal(0.0, params.metro_sigma_km));
+      keep_if_inside(geo::destination(city.pos, bearing, radius),
+                     sample_height(rng, params));
+    }
+  }
+
+  // 2. Corridor towers: along great circles to the few nearest cities
+  //    (tower companies build along highways and rail lines).
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    // Nearest neighbors by geodesic distance.
+    std::vector<std::pair<double, std::size_t>> order;
+    for (std::size_t j = 0; j < cities.size(); ++j) {
+      if (j == i) continue;
+      order.push_back({geo::distance_km(cities[i].pos, cities[j].pos), j});
+    }
+    std::sort(order.begin(), order.end());
+    const std::size_t neighbors =
+        std::min(params.corridor_neighbors, order.size());
+    for (std::size_t n = 0; n < neighbors; ++n) {
+      const std::size_t j = order[n].second;
+      if (j < i) continue;  // each corridor once
+      const double dist = order[n].first;
+      const auto count = static_cast<std::size_t>(
+          dist / 100.0 * params.corridor_towers_per_100km);
+      for (std::size_t t = 0; t < count; ++t) {
+        const double f = rng.uniform();
+        const geo::LatLon on_path =
+            geo::interpolate(cities[i].pos, cities[j].pos, f);
+        const double jitter_bearing = rng.uniform(0.0, 360.0);
+        const double jitter =
+            std::fabs(rng.normal(0.0, params.corridor_jitter_km));
+        keep_if_inside(geo::destination(on_path, jitter_bearing, jitter),
+                       sample_height(rng, params));
+      }
+    }
+  }
+
+  // 3. Rural baseline: uniform over the region box.
+  for (std::size_t i = 0; i < params.rural_towers; ++i) {
+    const geo::LatLon pos{rng.uniform(box.lat_min, box.lat_max),
+                          rng.uniform(box.lon_min, box.lon_max)};
+    keep_if_inside(pos, sample_height(rng, params));
+  }
+
+  // 4. Culling (paper §4): when density exceeds the cap per grid cell,
+  //    sample randomly within the cell.
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> cells;
+  for (std::size_t i = 0; i < towers.size(); ++i) {
+    const auto row = static_cast<std::int64_t>(
+        std::floor(towers[i].pos.lat_deg / params.cell_deg));
+    const auto col = static_cast<std::int64_t>(
+        std::floor(towers[i].pos.lon_deg / params.cell_deg));
+    cells[row * 100000 + col].push_back(i);
+  }
+  std::vector<Tower> culled;
+  culled.reserve(towers.size());
+  // Deterministic order: sort cells by key.
+  std::vector<std::int64_t> keys;
+  keys.reserve(cells.size());
+  for (const auto& [key, members] : cells) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const std::int64_t key : keys) {
+    auto& members = cells[key];
+    if (members.size() > params.density_cap_per_cell) {
+      // Fisher-Yates prefix shuffle, then keep the cap.
+      for (std::size_t i = 0; i < params.density_cap_per_cell; ++i) {
+        const std::size_t j =
+            i + rng.uniform_index(members.size() - i);
+        std::swap(members[i], members[j]);
+      }
+      members.resize(params.density_cap_per_cell);
+    }
+    for (const std::size_t idx : members) culled.push_back(towers[idx]);
+  }
+  return culled;
+}
+
+}  // namespace cisp::infra

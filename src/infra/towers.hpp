@@ -1,0 +1,58 @@
+#pragma once
+// Synthetic microwave tower registry (§4's Step 1 input). Substitutes for
+// the FCC Antenna Structure Registration + tower-company databases: tower
+// density is correlated with population (metros dense, Rockies sparse),
+// with a rural baseline and corridor towers along inter-city routes, then
+// culled with the paper's rules (density cap of 50 towers per 0.5 degree
+// grid cell, ~12k towers total for the US).
+
+#include <cstdint>
+#include <vector>
+
+#include "infra/city.hpp"
+#include "terrain/regions.hpp"
+
+namespace cisp::infra {
+
+struct Tower {
+  geo::LatLon pos;
+  double height_m = 0.0;
+};
+
+struct TowerGenParams {
+  std::uint64_t seed = 7;
+  /// Towers sampled around a city: count = metro_base + metro_scale *
+  /// sqrt(population / 100k).
+  double metro_base = 6.0;
+  double metro_scale = 10.0;
+  /// Gaussian spread of metro towers around the city center, km.
+  double metro_sigma_km = 30.0;
+  /// Uniform rural towers over the region box (land assumed everywhere).
+  std::size_t rural_towers = 8000;
+  /// Corridor towers per 100 km along each city-to-neighbor corridor.
+  double corridor_towers_per_100km = 6.0;
+  /// Number of nearest neighbors each city gets corridors to.
+  std::size_t corridor_neighbors = 4;
+  /// Lateral jitter of corridor towers around the great circle, km.
+  double corridor_jitter_km = 8.0;
+  /// Tower height distribution (meters): height = min + (max-min) * u^1.5
+  /// (tall towers are rarer; the FCC subset the paper uses is >100 m, and
+  /// rental-company structures add a shorter tail).
+  double min_height_m = 60.0;
+  double max_height_m = 190.0;
+  /// Culling: maximum towers kept per grid cell (paper: 50 per 0.5 deg).
+  std::size_t density_cap_per_cell = 50;
+  double cell_deg = 0.5;
+  /// Hilltop bias: each tower position is the highest of this many nearby
+  /// samples (real registries cluster on high ground; crucial for LOS in
+  /// mountainous terrain and for robustness to mount-height restrictions).
+  std::size_t hilltop_samples = 6;
+  double hilltop_radius_km = 8.0;
+};
+
+/// Generates the registry. Deterministic in (region, cities, params).
+[[nodiscard]] std::vector<Tower> generate_towers(
+    const terrain::Region& region, const std::vector<City>& cities,
+    const TowerGenParams& params = {});
+
+}  // namespace cisp::infra

@@ -1,0 +1,137 @@
+#include "lp/milp.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace cisp::lp {
+
+namespace {
+
+struct BranchNode {
+  /// Extra bounds imposed along this branch: (var, is_upper, bound).
+  struct Bound {
+    std::size_t var;
+    bool is_upper;
+    double value;
+  };
+  std::vector<Bound> bounds;
+  double parent_bound = -std::numeric_limits<double>::infinity();
+};
+
+LinearProgram with_bounds(const LinearProgram& base,
+                          const std::vector<BranchNode::Bound>& bounds) {
+  LinearProgram lp = base;
+  for (const auto& b : bounds) {
+    std::vector<double> row(lp.num_vars, 0.0);
+    row[b.var] = 1.0;
+    if (b.is_upper) {
+      lp.add_less_eq(std::move(row), b.value);
+    } else {
+      lp.add_greater_eq(std::move(row), b.value);
+    }
+  }
+  return lp;
+}
+
+}  // namespace
+
+MilpResult solve_milp(const LinearProgram& lp,
+                      const std::vector<std::size_t>& integer_vars,
+                      const MilpOptions& options) {
+  for (const std::size_t v : integer_vars) {
+    CISP_REQUIRE(v < lp.num_vars, "integer variable index out of range");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_time = [&] {
+    if (options.time_limit_s <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() > options.time_limit_s;
+  };
+
+  MilpResult best;
+  best.status = SolveStatus::Infeasible;
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  // Depth-first stack (keeps memory bounded; good enough at our scales).
+  std::vector<BranchNode> stack;
+  stack.push_back({});
+  bool hit_limit = false;
+
+  while (!stack.empty()) {
+    if (best.nodes_explored >= options.max_nodes || out_of_time()) {
+      hit_limit = true;
+      break;
+    }
+    const BranchNode node = std::move(stack.back());
+    stack.pop_back();
+    if (node.parent_bound >= incumbent - 1e-12) continue;  // pruned
+
+    ++best.nodes_explored;
+    const LinearProgram sub = with_bounds(lp, node.bounds);
+    const Solution relax = solve(sub, options.simplex);
+    if (relax.status == SolveStatus::Infeasible) continue;
+    if (relax.status == SolveStatus::Unbounded) {
+      // Unbounded relaxation at the root means the MILP is unbounded too
+      // (for our minimization problems with bounded feasible sets this
+      // never happens; report and stop).
+      best.status = SolveStatus::Unbounded;
+      return best;
+    }
+    if (relax.status == SolveStatus::IterationLimit) {
+      hit_limit = true;
+      continue;
+    }
+    if (relax.objective >= incumbent - 1e-12) continue;  // bound
+
+    // Find the most fractional integer variable.
+    std::size_t branch_var = SIZE_MAX;
+    double best_frac_dist = options.integrality_tol;
+    for (const std::size_t v : integer_vars) {
+      const double value = relax.x[v];
+      const double frac = value - std::floor(value);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist > best_frac_dist) {
+        best_frac_dist = dist;
+        branch_var = v;
+      }
+    }
+    if (branch_var == SIZE_MAX) {
+      // Integral: new incumbent.
+      incumbent = relax.objective;
+      best.objective = relax.objective;
+      best.x = relax.x;
+      best.status = SolveStatus::Optimal;
+      continue;
+    }
+    const double value = relax.x[branch_var];
+    BranchNode down;
+    down.bounds = node.bounds;
+    down.bounds.push_back({branch_var, true, std::floor(value)});
+    down.parent_bound = relax.objective;
+    BranchNode up;
+    up.bounds = node.bounds;
+    up.bounds.push_back({branch_var, false, std::ceil(value)});
+    up.parent_bound = relax.objective;
+    // Explore the branch nearest the fractional value first.
+    if (value - std::floor(value) < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (hit_limit && best.status == SolveStatus::Optimal) {
+    // Incumbent exists but optimality was not proven.
+    best.status = SolveStatus::IterationLimit;
+  }
+  return best;
+}
+
+}  // namespace cisp::lp

@@ -1,0 +1,37 @@
+#pragma once
+// Branch-and-bound mixed-integer solver on top of the simplex LP engine.
+// This is the generic "exact ILP" machinery (Gurobi substitute); the design
+// module additionally has a specialized combinatorial branch-and-bound that
+// exploits the problem structure (§3.2), as the paper's heuristic does.
+
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace cisp::lp {
+
+struct MilpOptions {
+  SimplexOptions simplex;
+  std::size_t max_nodes = 100000;   ///< branch-and-bound node budget
+  double integrality_tol = 1e-6;
+  /// Optional wall-clock budget in seconds (0 = unlimited). When exceeded
+  /// the best incumbent found so far is returned with status
+  /// IterationLimit.
+  double time_limit_s = 0.0;
+};
+
+struct MilpResult {
+  SolveStatus status = SolveStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t nodes_explored = 0;
+};
+
+/// Minimizes the LP with the variables listed in `integer_vars` restricted
+/// to integers (bounds come from the LP constraints; add 0<=x<=1 rows for
+/// binaries).
+[[nodiscard]] MilpResult solve_milp(const LinearProgram& lp,
+                                    const std::vector<std::size_t>& integer_vars,
+                                    const MilpOptions& options = {});
+
+}  // namespace cisp::lp

@@ -1,0 +1,260 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace cisp::lp {
+
+void LinearProgram::add_less_eq(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Sense::LessEq, rhs});
+}
+void LinearProgram::add_greater_eq(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Sense::GreaterEq, rhs});
+}
+void LinearProgram::add_equal(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Sense::Equal, rhs});
+}
+
+namespace {
+
+/// Dense tableau with explicit basis bookkeeping.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, const SimplexOptions& options)
+      : options_(options), m_(lp.constraints.size()) {
+    CISP_REQUIRE(lp.objective.size() == lp.num_vars,
+                 "objective size mismatch");
+    // Column layout: [structural | slack/surplus | artificial | rhs].
+    n_struct_ = lp.num_vars;
+    // One slack or surplus per inequality.
+    std::size_t n_slack = 0;
+    for (const auto& c : lp.constraints) {
+      if (c.sense != Sense::Equal) ++n_slack;
+    }
+    n_slack_ = n_slack;
+    n_art_ = m_;  // worst case: one artificial per row (unused ones skipped)
+    cols_ = n_struct_ + n_slack_ + n_art_ + 1;
+    rows_.assign((m_ + 1) * cols_, 0.0);
+    basis_.assign(m_, SIZE_MAX);
+    art_cols_.clear();
+
+    std::size_t slack_cursor = 0;
+    std::size_t art_cursor = 0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      const Constraint& c = lp.constraints[r];
+      CISP_REQUIRE(c.coeffs.size() == lp.num_vars,
+                   "constraint width mismatch");
+      double sign = 1.0;
+      // Normalize to non-negative rhs.
+      if (c.rhs < 0.0) sign = -1.0;
+      for (std::size_t j = 0; j < n_struct_; ++j) {
+        at(r, j) = sign * c.coeffs[j];
+      }
+      rhs(r) = sign * c.rhs;
+      Sense sense = c.sense;
+      if (sign < 0.0) {
+        if (sense == Sense::LessEq) {
+          sense = Sense::GreaterEq;
+        } else if (sense == Sense::GreaterEq) {
+          sense = Sense::LessEq;
+        }
+      }
+      if (sense == Sense::LessEq) {
+        const std::size_t col = n_struct_ + slack_cursor++;
+        at(r, col) = 1.0;
+        basis_[r] = col;  // slack is basic
+      } else if (sense == Sense::GreaterEq) {
+        const std::size_t col = n_struct_ + slack_cursor++;
+        at(r, col) = -1.0;  // surplus
+        const std::size_t art = n_struct_ + n_slack_ + art_cursor++;
+        at(r, art) = 1.0;
+        basis_[r] = art;
+        art_cols_.push_back(art);
+      } else {
+        const std::size_t art = n_struct_ + n_slack_ + art_cursor++;
+        at(r, art) = 1.0;
+        basis_[r] = art;
+        art_cols_.push_back(art);
+      }
+    }
+  }
+
+  /// Phase 1: minimize the sum of artificials. Returns false if infeasible.
+  bool phase1() {
+    if (art_cols_.empty()) return true;
+    // Objective row: sum of artificial columns == sum of rows that have an
+    // artificial basic variable (express in terms of non-basics).
+    std::fill(obj_begin(), obj_end(), 0.0);
+    for (const std::size_t col : art_cols_) obj(col) = 1.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (obj(basis_[r]) != 0.0) eliminate_basic(r);
+    }
+    if (!iterate()) return false;  // hit iteration limit -> treat as failure
+    if (obj_value() > options_.tolerance) return false;  // infeasible
+    // Drive any remaining artificial out of the basis.
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (!is_artificial(basis_[r])) continue;
+      bool pivoted = false;
+      for (std::size_t j = 0; j < n_struct_ + n_slack_ && !pivoted; ++j) {
+        if (std::fabs(at(r, j)) > options_.tolerance) {
+          pivot(r, j);
+          pivoted = true;
+        }
+      }
+      // A row with no eligible pivot is redundant; leave the (zero-valued)
+      // artificial basic — it can never become positive again because we
+      // forbid artificial columns from entering in phase 2.
+    }
+    return true;
+  }
+
+  /// Phase 2: minimize the true objective. Returns solve status.
+  SolveStatus phase2(const LinearProgram& lp) {
+    std::fill(obj_begin(), obj_end(), 0.0);
+    for (std::size_t j = 0; j < n_struct_; ++j) obj(j) = lp.objective[j];
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (obj(basis_[r]) != 0.0) eliminate_basic(r);
+    }
+    forbid_artificials_ = true;
+    if (!iterate()) {
+      return unbounded_ ? SolveStatus::Unbounded : SolveStatus::IterationLimit;
+    }
+    return SolveStatus::Optimal;
+  }
+
+  [[nodiscard]] Solution extract(const LinearProgram& lp) const {
+    Solution sol;
+    sol.status = SolveStatus::Optimal;
+    sol.x.assign(lp.num_vars, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < n_struct_) sol.x[basis_[r]] = rhs(r);
+    }
+    sol.objective = 0.0;
+    for (std::size_t j = 0; j < lp.num_vars; ++j) {
+      sol.objective += lp.objective[j] * sol.x[j];
+    }
+    return sol;
+  }
+
+ private:
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return rows_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return rows_[r * cols_ + c];
+  }
+  [[nodiscard]] double& rhs(std::size_t r) { return at(r, cols_ - 1); }
+  [[nodiscard]] double rhs(std::size_t r) const { return at(r, cols_ - 1); }
+  [[nodiscard]] double& obj(std::size_t c) { return at(m_, c); }
+  [[nodiscard]] double obj(std::size_t c) const { return at(m_, c); }
+  double* obj_begin() { return &rows_[m_ * cols_]; }
+  double* obj_end() { return obj_begin() + cols_; }
+  [[nodiscard]] double obj_value() const { return -at(m_, cols_ - 1); }
+  [[nodiscard]] bool is_artificial(std::size_t col) const {
+    return col >= n_struct_ + n_slack_ && col < cols_ - 1;
+  }
+
+  /// Subtracts multiples of row r from the objective row so the basic
+  /// variable of row r has zero reduced cost.
+  void eliminate_basic(std::size_t r) {
+    const double factor = obj(basis_[r]);
+    if (factor == 0.0) return;
+    for (std::size_t c = 0; c < cols_; ++c) at(m_, c) -= factor * at(r, c);
+  }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pivot_val = at(pr, pc);
+    const double inv = 1.0 / pivot_val;
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    at(pr, pc) = 1.0;
+    for (std::size_t r = 0; r <= m_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pr, c);
+      }
+      at(r, pc) = 0.0;
+    }
+    basis_[pr] = pc;
+  }
+
+  /// Runs simplex iterations on the current objective row. Returns false on
+  /// unboundedness or iteration limit (sets unbounded_ accordingly).
+  bool iterate() {
+    const std::size_t pivot_cols = cols_ - 1;
+    for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+      const bool bland = iter > options_.max_iterations / 2;
+      // Entering column: most negative reduced cost (Dantzig) or first
+      // negative (Bland, guarantees termination).
+      std::size_t entering = SIZE_MAX;
+      double best = -options_.tolerance;
+      for (std::size_t c = 0; c < pivot_cols; ++c) {
+        if (forbid_artificials_ && is_artificial(c)) continue;
+        const double reduced = obj(c);
+        if (reduced < best) {
+          entering = c;
+          if (bland) break;
+          best = reduced;
+        }
+      }
+      if (entering == SIZE_MAX) return true;  // optimal
+      // Leaving row: min ratio test (Bland tie-break on basis index).
+      std::size_t leaving = SIZE_MAX;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m_; ++r) {
+        const double a = at(r, entering);
+        if (a > options_.tolerance) {
+          const double ratio = rhs(r) / a;
+          if (ratio < best_ratio - options_.tolerance ||
+              (ratio < best_ratio + options_.tolerance &&
+               (leaving == SIZE_MAX || basis_[r] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == SIZE_MAX) {
+        unbounded_ = true;
+        return false;
+      }
+      pivot(leaving, entering);
+    }
+    return false;  // iteration limit
+  }
+
+  SimplexOptions options_;
+  std::size_t m_ = 0;
+  std::size_t n_struct_ = 0;
+  std::size_t n_slack_ = 0;
+  std::size_t n_art_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> rows_;
+  std::vector<std::size_t> basis_;
+  std::vector<std::size_t> art_cols_;
+  bool forbid_artificials_ = false;
+  bool unbounded_ = false;
+};
+
+}  // namespace
+
+Solution solve(const LinearProgram& lp, const SimplexOptions& options) {
+  CISP_REQUIRE(lp.num_vars > 0, "LP without variables");
+  Tableau tableau(lp, options);
+  Solution sol;
+  if (!tableau.phase1()) {
+    sol.status = SolveStatus::Infeasible;
+    return sol;
+  }
+  const SolveStatus status = tableau.phase2(lp);
+  if (status != SolveStatus::Optimal) {
+    sol.status = status;
+    return sol;
+  }
+  return tableau.extract(lp);
+}
+
+}  // namespace cisp::lp

@@ -1,0 +1,125 @@
+#include "net/builder.hpp"
+
+#include <algorithm>
+
+#include "geo/latlon.hpp"
+#include "util/error.hpp"
+
+namespace cisp::net {
+
+SimInstance build_sim(const design::DesignInput& input,
+                      const design::CapacityPlan& plan,
+                      const BuildOptions& options) {
+  CISP_REQUIRE(options.rate_scale > 0.0, "rate scale must be positive");
+  const std::size_t n = input.site_count();
+
+  SimInstance instance;
+  instance.sim = std::make_unique<Simulator>();
+  instance.network = std::make_unique<Network>(*instance.sim, n);
+  instance.view.latency_graph = graphs::Graph(n);
+
+  const auto add_duplex = [&](std::uint32_t a, std::uint32_t b,
+                              double rate_bps, double latency_s,
+                              std::size_t queue) {
+    const std::size_t link_ab = instance.network->add_duplex_link(
+        a, b, rate_bps, latency_s, queue);
+    instance.view.latency_graph.add_edge(a, b, latency_s);
+    instance.view.edge_to_link.push_back(link_ab);
+    instance.view.capacity_bps.push_back(rate_bps);
+    instance.view.latency_graph.add_edge(b, a, latency_s);
+    instance.view.edge_to_link.push_back(link_ab + 1);
+    instance.view.capacity_bps.push_back(rate_bps);
+  };
+
+  // MW links: aggregated capacity = series^2 * unit (the k^2 rule).
+  for (const auto& link : plan.links) {
+    const double capacity_bps = static_cast<double>(link.series) *
+                                static_cast<double>(link.series) *
+                                options.series_unit_gbps * 1e9 *
+                                options.rate_scale;
+    const double latency_s =
+        input.candidates()[link.candidate_index].mw_km /
+        geo::kSpeedOfLightKmPerS;
+    const std::size_t before = instance.view.latency_graph.edge_count();
+    add_duplex(static_cast<std::uint32_t>(link.site_a),
+               static_cast<std::uint32_t>(link.site_b), capacity_bps,
+               latency_s, options.mw_queue_packets);
+    instance.mw_edges.push_back(before);
+    instance.mw_edges.push_back(before + 1);
+  }
+
+  // Fiber mesh: nearest neighbors by fiber distance (plus a chain along
+  // the nearest-neighbor order to guarantee connectivity).
+  std::vector<std::vector<bool>> fiber_added(n, std::vector<bool>(n, false));
+  const double fiber_bps = options.fiber_gbps * 1e9 * options.rate_scale;
+  const auto add_fiber = [&](std::size_t a, std::size_t b) {
+    if (a == b || fiber_added[a][b]) return;
+    fiber_added[a][b] = fiber_added[b][a] = true;
+    const double latency_s =
+        input.fiber_effective_km(a, b) / geo::kSpeedOfLightKmPerS;
+    add_duplex(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b),
+               fiber_bps, latency_s, options.fiber_queue_packets);
+  };
+  for (std::size_t a = 0; a < n; ++a) {
+    std::vector<std::size_t> order;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (b != a) order.push_back(b);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return input.fiber_effective_km(a, x) < input.fiber_effective_km(a, y);
+    });
+    const std::size_t neighbors =
+        std::min(options.fiber_neighbors, order.size());
+    for (std::size_t k = 0; k < neighbors; ++k) add_fiber(a, order[k]);
+  }
+  // Connectivity backstop: chain sites in index order.
+  for (std::size_t a = 0; a + 1 < n; ++a) add_fiber(a, a + 1);
+
+  return instance;
+}
+
+std::vector<TrafficDemand> demands_from_traffic(
+    const std::vector<std::vector<double>>& traffic, double aggregate_gbps,
+    double rate_scale) {
+  CISP_REQUIRE(aggregate_gbps > 0.0, "aggregate must be positive");
+  double total = 0.0;
+  for (const auto& row : traffic) {
+    for (const double v : row) total += v;
+  }
+  CISP_REQUIRE(total > 0.0, "traffic matrix is all-zero");
+  std::vector<TrafficDemand> demands;
+  for (std::size_t s = 0; s < traffic.size(); ++s) {
+    for (std::size_t t = 0; t < traffic[s].size(); ++t) {
+      if (s == t || traffic[s][t] <= 0.0) continue;
+      demands.push_back(
+          {static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(t),
+           traffic[s][t] / total * aggregate_gbps * 1e9 * rate_scale});
+    }
+  }
+  return demands;
+}
+
+std::vector<std::unique_ptr<UdpCbrSource>> attach_udp_workload(
+    SimInstance& instance, const std::vector<TrafficDemand>& demands,
+    Time start, Time stop, std::uint64_t seed) {
+  for (std::size_t node = 0; node < instance.network->node_count(); ++node) {
+    install_udp_sink(*instance.network, static_cast<std::uint32_t>(node),
+                     instance.monitor);
+  }
+  std::vector<std::unique_ptr<UdpCbrSource>> sources;
+  Rng rng(seed);
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    // Skip demands so small they would not emit a packet in the window.
+    const double window_bytes =
+        demands[d].rate_bps / 8.0 * std::max(0.0, stop - start);
+    if (window_bytes < kUdpPacketBytes) continue;
+    sources.push_back(std::make_unique<UdpCbrSource>(
+        *instance.network, instance.monitor,
+        static_cast<std::uint32_t>(d), demands[d].src, demands[d].dst,
+        demands[d].rate_bps));
+    sources.back()->start(start, stop, rng());
+  }
+  return sources;
+}
+
+}  // namespace cisp::net

@@ -1,0 +1,64 @@
+#pragma once
+// Builds a packet-level simulation from a designed cISP topology (§5):
+// nodes are the routing sites; built MW links carry their provisioned
+// aggregate capacity (parallel tower series aggregated, per the paper's
+// simulation methodology); fiber is modeled as a high-capacity mesh.
+// Capacities and demands can be scaled down together — utilization, the
+// quantity the experiments sweep, is preserved.
+
+#include <memory>
+
+#include "design/capacity.hpp"
+#include "design/problem.hpp"
+#include "net/monitors.hpp"
+#include "net/routing.hpp"
+#include "net/udp.hpp"
+
+namespace cisp::net {
+
+struct BuildOptions {
+  /// Multiplied into every capacity AND every demand: keeps utilization
+  /// identical while cutting the packet count (default 1/10th scale).
+  double rate_scale = 0.1;
+  double series_unit_gbps = 1.0;
+  /// Fiber links are effectively uncapped (the paper treats fiber
+  /// bandwidth as plentiful).
+  double fiber_gbps = 400.0;
+  std::size_t mw_queue_packets = 200;
+  std::size_t fiber_queue_packets = 20000;
+  /// Fiber mesh degree: each site gets fiber links to this many nearest
+  /// (by fiber distance) other sites, plus enough to stay connected. Keeps
+  /// the simulated graph sparse while preserving fiber path latencies
+  /// within a few percent.
+  std::size_t fiber_neighbors = 6;
+};
+
+/// A runnable simulation instance (owns simulator + network wiring).
+struct SimInstance {
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> network;
+  SimTopologyView view;
+  FlowMonitor monitor;
+  /// Graph-edge indices that are MW links (for per-technology stats).
+  std::vector<std::size_t> mw_edges;
+};
+
+/// Builds nodes/links from the designed topology + capacity plan.
+[[nodiscard]] SimInstance build_sim(const design::DesignInput& input,
+                                    const design::CapacityPlan& plan,
+                                    const BuildOptions& options = {});
+
+/// Expands a traffic matrix into per-ordered-pair demands totalling
+/// `aggregate_gbps * rate_scale`.
+[[nodiscard]] std::vector<TrafficDemand> demands_from_traffic(
+    const std::vector<std::vector<double>>& traffic, double aggregate_gbps,
+    double rate_scale);
+
+/// Attaches UDP CBR sources for all demands and sinks on all nodes; the
+/// flows run from `start` to `stop`. Returns the sources (kept alive by
+/// the caller for the duration of the run).
+[[nodiscard]] std::vector<std::unique_ptr<UdpCbrSource>> attach_udp_workload(
+    SimInstance& instance, const std::vector<TrafficDemand>& demands,
+    Time start, Time stop, std::uint64_t seed);
+
+}  // namespace cisp::net

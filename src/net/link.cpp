@@ -1,0 +1,58 @@
+#include "net/link.hpp"
+
+#include "util/error.hpp"
+
+namespace cisp::net {
+
+Link::Link(Simulator& sim, double rate_bps, Time prop_delay_s,
+           std::size_t queue_packets, DeliverFn deliver)
+    : sim_(sim),
+      rate_bps_(rate_bps),
+      prop_delay_s_(prop_delay_s),
+      queue_cap_(queue_packets),
+      deliver_(std::move(deliver)) {
+  CISP_REQUIRE(rate_bps_ > 0.0, "link rate must be positive");
+  CISP_REQUIRE(prop_delay_s_ >= 0.0, "propagation delay must be >= 0");
+  CISP_REQUIRE(deliver_ != nullptr, "link needs a delivery callback");
+}
+
+void Link::send(const Packet& packet) {
+  queue_samples_.add(static_cast<double>(queue_.size()));
+  if (!busy_) {
+    start_transmission(packet);
+    return;
+  }
+  if (queue_.size() >= queue_cap_) {
+    ++drops_;
+    return;
+  }
+  queue_.push_back(packet);
+}
+
+void Link::start_transmission(const Packet& packet) {
+  busy_ = true;
+  const Time serialization =
+      static_cast<double>(packet.size_bytes) * 8.0 / rate_bps_;
+  busy_time_ += serialization;
+  ++sent_;
+  bytes_ += packet.size_bytes;
+  // Arrival at the far end after serialization + propagation.
+  sim_.schedule(serialization + prop_delay_s_,
+                [this, packet] { deliver_(packet); });
+  sim_.schedule(serialization, [this] { transmission_done(); });
+}
+
+void Link::transmission_done() {
+  busy_ = false;
+  if (!queue_.empty()) {
+    const Packet next = queue_.front();
+    queue_.pop_front();
+    start_transmission(next);
+  }
+}
+
+double Link::utilization(Time now) const {
+  return now > 0.0 ? busy_time_ / now : 0.0;
+}
+
+}  // namespace cisp::net

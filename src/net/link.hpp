@@ -1,0 +1,64 @@
+#pragma once
+// Point-to-point unidirectional link with a FIFO drop-tail queue, the
+// serialization/propagation model, and built-in monitoring (utilization,
+// queue occupancy, drops) — the counterpart of ns-3's PointToPointNetDevice
+// plus the paper's custom link-utilization monitor.
+
+#include <deque>
+#include <functional>
+#include <limits>
+
+#include "net/sim.hpp"
+#include "util/stats.hpp"
+
+namespace cisp::net {
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  /// `queue_packets` caps the FIFO (drop-tail); use kUnboundedQueue for an
+  /// infinite buffer (the Fig. 6 setup).
+  static constexpr std::size_t kUnboundedQueue =
+      std::numeric_limits<std::size_t>::max();
+
+  Link(Simulator& sim, double rate_bps, Time prop_delay_s,
+       std::size_t queue_packets, DeliverFn deliver);
+
+  /// Hands a packet to the link; queues, transmits, or drops it.
+  void send(const Packet& packet);
+
+  [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
+  [[nodiscard]] Time prop_delay_s() const noexcept { return prop_delay_s_; }
+
+  // --- monitoring ---
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_; }
+  /// Queue length (packets) sampled at every enqueue attempt.
+  [[nodiscard]] const Samples& queue_samples() const noexcept {
+    return queue_samples_;
+  }
+  /// Fraction of time the transmitter was busy up to `now`.
+  [[nodiscard]] double utilization(Time now) const;
+
+ private:
+  void start_transmission(const Packet& packet);
+  void transmission_done();
+
+  Simulator& sim_;
+  double rate_bps_;
+  Time prop_delay_s_;
+  std::size_t queue_cap_;
+  DeliverFn deliver_;
+
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t bytes_ = 0;
+  Time busy_time_ = 0.0;
+  Samples queue_samples_;
+};
+
+}  // namespace cisp::net

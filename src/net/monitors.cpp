@@ -1,0 +1,39 @@
+#include "net/monitors.hpp"
+
+#include "util/error.hpp"
+
+namespace cisp::net {
+
+void FlowMonitor::on_send(const Packet& packet) {
+  auto& f = flows_[packet.flow_id];
+  ++f.sent_packets;
+  f.sent_bytes += packet.size_bytes;
+  ++sent_;
+}
+
+void FlowMonitor::on_receive(const Packet& packet, Time now) {
+  auto& f = flows_[packet.flow_id];
+  ++f.received_packets;
+  f.received_bytes += packet.size_bytes;
+  const double delay = now - packet.sent_at;
+  f.delay_s.add(delay);
+  delay_sum_s_ += delay;
+  ++received_;
+}
+
+const FlowMonitor::FlowStats& FlowMonitor::flow(std::uint32_t flow_id) const {
+  const auto it = flows_.find(flow_id);
+  CISP_REQUIRE(it != flows_.end(), "unknown flow id");
+  return it->second;
+}
+
+double FlowMonitor::mean_delay_s() const {
+  return received_ > 0 ? delay_sum_s_ / static_cast<double>(received_) : 0.0;
+}
+
+double FlowMonitor::loss_rate() const {
+  if (sent_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(received_) / static_cast<double>(sent_);
+}
+
+}  // namespace cisp::net

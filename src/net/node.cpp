@@ -1,0 +1,67 @@
+#include "net/node.hpp"
+
+#include "util/error.hpp"
+
+namespace cisp::net {
+
+namespace {
+constexpr std::uint64_t route_key(std::uint32_t src, std::uint32_t dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+}  // namespace
+
+void Node::set_route(std::uint32_t src, std::uint32_t dst, Link* next) {
+  CISP_REQUIRE(next != nullptr, "null next-hop link");
+  routes_[route_key(src, dst)] = next;
+}
+
+void Node::receive(const Packet& packet) {
+  if (packet.dst == id_) {
+    if (local_) local_(packet);
+    return;
+  }
+  const auto it = routes_.find(route_key(packet.src, packet.dst));
+  if (it == routes_.end()) {
+    ++routing_drops_;
+    return;
+  }
+  it->second->send(packet);
+}
+
+Network::Network(Simulator& sim, std::size_t node_count) : sim_(sim) {
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<Node>(static_cast<std::uint32_t>(i)));
+  }
+}
+
+std::size_t Network::add_link(std::uint32_t from, std::uint32_t to,
+                              double rate_bps, Time prop_delay_s,
+                              std::size_t queue_packets) {
+  CISP_REQUIRE(from < nodes_.size() && to < nodes_.size(),
+               "link endpoint out of range");
+  CISP_REQUIRE(from != to, "self-link");
+  Node* dst_node = nodes_[to].get();
+  links_.push_back(std::make_unique<Link>(
+      sim_, rate_bps, prop_delay_s, queue_packets,
+      [dst_node](const Packet& p) { dst_node->receive(p); }));
+  link_ends_.push_back({from, to});
+  return links_.size() - 1;
+}
+
+std::size_t Network::add_duplex_link(std::uint32_t a, std::uint32_t b,
+                                     double rate_bps, Time prop_delay_s,
+                                     std::size_t queue_packets) {
+  const std::size_t first =
+      add_link(a, b, rate_bps, prop_delay_s, queue_packets);
+  add_link(b, a, rate_bps, prop_delay_s, queue_packets);
+  return first;
+}
+
+void Network::inject(const Packet& packet) {
+  CISP_REQUIRE(packet.src < nodes_.size() && packet.dst < nodes_.size(),
+               "packet endpoints out of range");
+  nodes_[packet.src]->receive(packet);
+}
+
+}  // namespace cisp::net

@@ -1,0 +1,52 @@
+#pragma once
+// Static routing schemes of §5: latency-shortest paths (the design
+// default), min-max link utilization (the classic ISP traffic-engineering
+// objective), and throughput-optimal routing (via max concurrent flow).
+// Routes are computed offline from the demand set and installed as
+// per-(src,dst) next hops.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/node.hpp"
+
+namespace cisp::net {
+
+enum class RoutingScheme {
+  ShortestPath,
+  MinMaxUtilization,
+  ThroughputOptimal,
+};
+
+[[nodiscard]] const char* to_string(RoutingScheme scheme);
+
+struct TrafficDemand {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double rate_bps = 0.0;
+};
+
+/// The routable view of a simulated network: a latency graph whose edges
+/// map to simulator links, plus per-edge capacities.
+struct SimTopologyView {
+  graphs::Graph latency_graph{0};          ///< weights: seconds
+  std::vector<std::size_t> edge_to_link;   ///< graph edge -> Network link id
+  std::vector<double> capacity_bps;        ///< per graph edge
+};
+
+struct RoutingResult {
+  /// Demand-weighted mean one-way path latency (propagation only), s.
+  double mean_path_latency_s = 0.0;
+  /// Predicted max link utilization when all demands run at full rate.
+  double max_link_utilization = 0.0;
+  /// Paths per demand (same order as the input demand list).
+  std::vector<graphs::Path> paths;
+};
+
+/// Computes paths for all demands under `scheme` and installs next-hop
+/// routes into the network nodes. Every demand must be routable.
+RoutingResult install_routes(Network& network, const SimTopologyView& view,
+                             const std::vector<TrafficDemand>& demands,
+                             RoutingScheme scheme);
+
+}  // namespace cisp::net

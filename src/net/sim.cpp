@@ -1,0 +1,39 @@
+#include "net/sim.hpp"
+
+#include "util/error.hpp"
+
+namespace cisp::net {
+
+void Simulator::schedule(Time delay, Handler handler) {
+  CISP_REQUIRE(delay >= 0.0, "cannot schedule in the past");
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+void Simulator::schedule_at(Time when, Handler handler) {
+  CISP_REQUIRE(when >= now_, "cannot schedule before now");
+  queue_.push({when, next_seq_++, std::move(handler)});
+}
+
+void Simulator::run_until(Time end) {
+  while (!queue_.empty() && queue_.top().when <= end) {
+    // Move out the handler before popping: the handler may schedule.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++processed_;
+    event.handler();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++processed_;
+    event.handler();
+  }
+}
+
+}  // namespace cisp::net

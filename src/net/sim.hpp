@@ -1,0 +1,70 @@
+#pragma once
+// Discrete-event simulation core (the ns-3 substitute for §5/§6.4): a
+// time-ordered event queue with deterministic tie-breaking.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cisp::net {
+
+/// Simulation time in seconds.
+using Time = double;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `handler` to run `delay` seconds from now (>= 0).
+  void schedule(Time delay, Handler handler);
+  /// Schedules at an absolute time (>= now).
+  void schedule_at(Time when, Handler handler);
+
+  /// Runs events until the queue empties or `end` is passed. Events at
+  /// exactly `end` are executed.
+  void run_until(Time end);
+  /// Runs until the queue is empty.
+  void run();
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  ///< FIFO among simultaneous events (determinism)
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// A simulated packet. TCP metadata lives in the same struct (a tagged
+/// subset is used by UDP) to keep the forwarding path trivial.
+struct Packet {
+  std::uint32_t flow_id = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t size_bytes = 0;
+  Time sent_at = 0.0;
+
+  // TCP fields (ignored by UDP flows).
+  bool is_ack = false;
+  std::uint64_t seq = 0;      ///< first byte of this segment
+  std::uint64_t ack = 0;      ///< cumulative ack (next byte expected)
+};
+
+}  // namespace cisp::net

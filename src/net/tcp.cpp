@@ -1,0 +1,194 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cisp::net {
+
+TcpFlow::TcpFlow(Network& network, TcpRegistry& registry,
+                 std::uint32_t flow_id, std::uint32_t src, std::uint32_t dst,
+                 std::uint64_t bytes, Params params)
+    : network_(network),
+      params_(params),
+      flow_id_(flow_id),
+      src_(src),
+      dst_(dst),
+      total_segments_((bytes + params.mss_bytes - 1) / params.mss_bytes),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh),
+      rto_s_(std::max(params.min_rto_s, 3.0 * params.initial_rtt_s)) {
+  CISP_REQUIRE(bytes > 0, "empty TCP flow");
+  CISP_REQUIRE(src != dst, "TCP flow to self");
+  registry.register_flow(*this);
+}
+
+void TcpFlow::start(Time at) {
+  CISP_REQUIRE(!started_, "flow already started");
+  started_ = true;
+  network_.sim().schedule_at(at, [this] {
+    start_time_ = network_.sim().now();
+    next_pace_time_ = start_time_;
+    arm_rto();
+    try_send();
+  });
+}
+
+double TcpFlow::fct_s() const {
+  CISP_REQUIRE(complete_, "flow not complete yet");
+  return finish_time_ - start_time_;
+}
+
+double TcpFlow::inflight() const {
+  return static_cast<double>(next_to_send_ - highest_acked_);
+}
+
+void TcpFlow::try_send() {
+  while (next_to_send_ < total_segments_ && inflight() < cwnd_) {
+    send_segment(next_to_send_, /*retransmit=*/false);
+    ++next_to_send_;
+  }
+}
+
+void TcpFlow::send_segment(std::uint64_t seg, bool retransmit) {
+  if (!params_.pacing) {
+    transmit_now(seg, retransmit);
+    return;
+  }
+  // Pacing: spread segments at gain * cwnd per smoothed RTT.
+  const double rtt = srtt_s_ > 0.0 ? srtt_s_ : params_.initial_rtt_s;
+  const double gain = cwnd_ < ssthresh_ ? params_.pacing_gain_slow_start
+                                        : params_.pacing_gain_avoidance;
+  const double gap = rtt / std::max(1.0, gain * cwnd_);
+  const Time now = network_.sim().now();
+  next_pace_time_ = std::max(next_pace_time_ + gap, now);
+  network_.sim().schedule_at(
+      next_pace_time_, [this, seg, retransmit] { transmit_now(seg, retransmit); });
+}
+
+void TcpFlow::transmit_now(std::uint64_t seg, bool retransmit) {
+  Packet p;
+  p.flow_id = flow_id_;
+  p.src = src_;
+  p.dst = dst_;
+  p.size_bytes = params_.mss_bytes + params_.wire_overhead;
+  p.sent_at = network_.sim().now();
+  p.seq = seg;
+  p.is_ack = false;
+  send_times_[seg] = {p.sent_at, retransmit};
+  network_.inject(p);
+}
+
+void TcpFlow::on_packet(const Packet& packet, std::uint32_t at_node) {
+  if (packet.is_ack) {
+    if (at_node == src_) on_ack(packet.ack);
+  } else if (at_node == dst_) {
+    on_data(packet.seq);
+  }
+}
+
+void TcpFlow::on_data(std::uint64_t seg) {
+  if (seg == expected_) {
+    ++expected_;
+    while (!out_of_order_.empty() && *out_of_order_.begin() == expected_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++expected_;
+    }
+  } else if (seg > expected_) {
+    out_of_order_.insert(seg);
+  }
+  Packet ack;
+  ack.flow_id = flow_id_;
+  ack.src = dst_;
+  ack.dst = src_;
+  ack.size_bytes = params_.ack_bytes;
+  ack.sent_at = network_.sim().now();
+  ack.is_ack = true;
+  ack.ack = expected_;
+  network_.inject(ack);
+}
+
+void TcpFlow::on_ack(std::uint64_t ack_seg) {
+  if (complete_) return;
+  if (ack_seg > highest_acked_) {
+    // RTT sample from the most recently acked, never-retransmitted segment
+    // (Karn's algorithm).
+    const auto it = send_times_.find(ack_seg - 1);
+    if (it != send_times_.end() && !it->second.second) {
+      const double sample = network_.sim().now() - it->second.first;
+      if (srtt_s_ == 0.0) {
+        srtt_s_ = sample;
+        rttvar_s_ = sample / 2.0;
+      } else {
+        rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::fabs(srtt_s_ - sample);
+        srtt_s_ = 0.875 * srtt_s_ + 0.125 * sample;
+      }
+      rto_s_ = std::max(params_.min_rto_s, srtt_s_ + 4.0 * rttvar_s_);
+    }
+    const std::uint64_t newly_acked = ack_seg - highest_acked_;
+    for (std::uint64_t s = highest_acked_; s < ack_seg; ++s) {
+      send_times_.erase(s);
+    }
+    highest_acked_ = ack_seg;
+    dup_acks_ = 0;
+    for (std::uint64_t i = 0; i < newly_acked; ++i) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1.0;  // slow start
+      } else {
+        cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+      }
+    }
+    cwnd_ = std::min(cwnd_, params_.max_cwnd);
+    if (highest_acked_ >= total_segments_) {
+      complete_ = true;
+      finish_time_ = network_.sim().now();
+      ++rto_epoch_;  // disarm the timer
+      return;
+    }
+    arm_rto();
+    try_send();
+  } else {
+    ++dup_acks_;
+    if (dup_acks_ == 3) {
+      // Fast retransmit + (simplified) fast recovery.
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = ssthresh_;
+      ++retransmits_;
+      send_segment(highest_acked_, /*retransmit=*/true);
+      arm_rto();
+    }
+  }
+}
+
+void TcpFlow::arm_rto() {
+  const std::uint64_t epoch = ++rto_epoch_;
+  network_.sim().schedule(rto_s_, [this, epoch] { on_timeout(epoch); });
+}
+
+void TcpFlow::on_timeout(std::uint64_t epoch) {
+  if (epoch != rto_epoch_ || complete_) return;  // stale timer
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  rto_s_ = std::min(rto_s_ * 2.0, 60.0);
+  ++retransmits_;
+  // Go-back-N from the last cumulative ACK.
+  next_to_send_ = highest_acked_;
+  send_segment(next_to_send_, /*retransmit=*/true);
+  ++next_to_send_;
+  arm_rto();
+}
+
+void TcpRegistry::install(Network& network, std::uint32_t node) {
+  network.node(node).set_local_deliver([this, node](const Packet& p) {
+    const auto it = flows_.find(p.flow_id);
+    if (it != flows_.end()) it->second->on_packet(p, node);
+  });
+}
+
+void TcpRegistry::register_flow(TcpFlow& flow) {
+  flows_[flow.flow_id()] = &flow;
+}
+
+}  // namespace cisp::net

@@ -1,0 +1,106 @@
+#pragma once
+// A compact TCP Reno implementation for the speed-mismatch experiment
+// (§5, Fig. 6): slow start, congestion avoidance, fast retransmit on three
+// duplicate ACKs, RTO with exponential backoff, cumulative ACKs with an
+// out-of-order buffer, and optional packet pacing (spreading the window
+// over one smoothed RTT instead of bursting on ACK clocks).
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "net/node.hpp"
+
+namespace cisp::net {
+
+class TcpRegistry;
+
+class TcpFlow {
+ public:
+  struct Params {
+    std::uint32_t mss_bytes = 1448;    ///< payload per segment
+    std::uint32_t wire_overhead = 52;  ///< header bytes on the wire
+    std::uint32_t ack_bytes = 40;
+    double initial_cwnd = 10.0;        ///< segments (RFC 6928)
+    double initial_ssthresh = 64.0;
+    double initial_rtt_s = 0.05;       ///< pre-measurement pacing estimate
+    double min_rto_s = 0.2;
+    double max_cwnd = 4096.0;
+    bool pacing = false;
+    /// Pacing gains (Linux-style): send at gain * cwnd/srtt so pacing
+    /// never throttles below the ACK clock.
+    double pacing_gain_slow_start = 2.0;
+    double pacing_gain_avoidance = 1.2;
+  };
+
+  TcpFlow(Network& network, TcpRegistry& registry, std::uint32_t flow_id,
+          std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
+          Params params);
+
+  void start(Time at);
+
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  /// Flow completion time (start of transmission to last byte acked).
+  [[nodiscard]] double fct_s() const;
+  [[nodiscard]] std::uint32_t flow_id() const noexcept { return flow_id_; }
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_;
+  }
+
+  /// Internal: called by the registry when a packet for this flow lands on
+  /// a node.
+  void on_packet(const Packet& packet, std::uint32_t at_node);
+
+ private:
+  void try_send();
+  void send_segment(std::uint64_t seg, bool retransmit);
+  void transmit_now(std::uint64_t seg, bool retransmit);
+  void on_ack(std::uint64_t ack_seg);
+  void on_data(std::uint64_t seg);
+  void arm_rto();
+  void on_timeout(std::uint64_t epoch);
+  [[nodiscard]] double inflight() const;
+
+  Network& network_;
+  Params params_;
+  std::uint32_t flow_id_;
+  std::uint32_t src_;
+  std::uint32_t dst_;
+  std::uint64_t total_segments_;
+
+  // Sender.
+  std::uint64_t next_to_send_ = 0;
+  std::uint64_t highest_acked_ = 0;  ///< next segment expected by receiver
+  double cwnd_;
+  double ssthresh_;
+  int dup_acks_ = 0;
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  double rto_s_;
+  std::uint64_t rto_epoch_ = 0;
+  std::unordered_map<std::uint64_t, std::pair<Time, bool>> send_times_;
+  Time next_pace_time_ = 0.0;
+  std::uint64_t retransmits_ = 0;
+
+  // Receiver.
+  std::uint64_t expected_ = 0;
+  std::set<std::uint64_t> out_of_order_;
+
+  Time start_time_ = 0.0;
+  Time finish_time_ = 0.0;
+  bool started_ = false;
+  bool complete_ = false;
+};
+
+/// Demultiplexes packets to TCP flows on the nodes it is installed on.
+class TcpRegistry {
+ public:
+  /// Replaces the node's local delivery with TCP demux.
+  void install(Network& network, std::uint32_t node);
+  void register_flow(TcpFlow& flow);
+
+ private:
+  std::unordered_map<std::uint32_t, TcpFlow*> flows_;
+};
+
+}  // namespace cisp::net

@@ -1,0 +1,50 @@
+#include "net/udp.hpp"
+
+#include "util/error.hpp"
+
+namespace cisp::net {
+
+UdpCbrSource::UdpCbrSource(Network& network, FlowMonitor& monitor,
+                           std::uint32_t flow_id, std::uint32_t src,
+                           std::uint32_t dst, double rate_bps,
+                           std::uint32_t packet_bytes)
+    : network_(network),
+      monitor_(monitor),
+      flow_id_(flow_id),
+      src_(src),
+      dst_(dst),
+      rate_bps_(rate_bps),
+      packet_bytes_(packet_bytes) {
+  CISP_REQUIRE(rate_bps_ > 0.0, "CBR rate must be positive");
+  CISP_REQUIRE(packet_bytes_ > 0, "packet size must be positive");
+  interval_ = static_cast<double>(packet_bytes_) * 8.0 / rate_bps_;
+}
+
+void UdpCbrSource::start(Time at, Time stop_at, std::uint64_t seed) {
+  stop_at_ = stop_at;
+  Rng rng(seed);
+  const Time phase = rng.uniform() * interval_;
+  network_.sim().schedule_at(at + phase, [this] { emit(); });
+}
+
+void UdpCbrSource::emit() {
+  if (network_.sim().now() >= stop_at_) return;
+  Packet p;
+  p.flow_id = flow_id_;
+  p.src = src_;
+  p.dst = dst_;
+  p.size_bytes = packet_bytes_;
+  p.sent_at = network_.sim().now();
+  monitor_.on_send(p);
+  network_.inject(p);
+  network_.sim().schedule(interval_, [this] { emit(); });
+}
+
+void install_udp_sink(Network& network, std::uint32_t node,
+                      FlowMonitor& monitor) {
+  Simulator& sim = network.sim();
+  network.node(node).set_local_deliver(
+      [&monitor, &sim](const Packet& p) { monitor.on_receive(p, sim.now()); });
+}
+
+}  // namespace cisp::net

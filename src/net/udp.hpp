@@ -1,0 +1,42 @@
+#pragma once
+// UDP constant-bit-rate source and sink (§5's workload: uniform 500-byte
+// packets). Sources have a deterministic inter-packet interval with a
+// random phase so flows do not synchronize.
+
+#include "net/monitors.hpp"
+#include "net/node.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::net {
+
+/// Paper's packet size for the §5 experiments.
+inline constexpr std::uint32_t kUdpPacketBytes = 500;
+
+class UdpCbrSource {
+ public:
+  UdpCbrSource(Network& network, FlowMonitor& monitor, std::uint32_t flow_id,
+               std::uint32_t src, std::uint32_t dst, double rate_bps,
+               std::uint32_t packet_bytes = kUdpPacketBytes);
+
+  /// Starts emission at a random phase within one interval (seeded).
+  void start(Time at, Time stop_at, std::uint64_t seed);
+
+ private:
+  void emit();
+
+  Network& network_;
+  FlowMonitor& monitor_;
+  std::uint32_t flow_id_;
+  std::uint32_t src_;
+  std::uint32_t dst_;
+  double rate_bps_;
+  std::uint32_t packet_bytes_;
+  Time interval_ = 0.0;
+  Time stop_at_ = 0.0;
+};
+
+/// Installs a sink on `node` that reports deliveries to the monitor.
+void install_udp_sink(Network& network, std::uint32_t node,
+                      FlowMonitor& monitor);
+
+}  // namespace cisp::net

@@ -1,0 +1,60 @@
+#include "rf/fresnel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace cisp::rf {
+
+double fresnel_radius_m(double d1_km, double d2_km, double f_ghz) noexcept {
+  const double total = d1_km + d2_km;
+  if (total <= 0.0) return 0.0;
+  // Standard microwave engineering form: F1 = 17.31 sqrt(d1 d2 / (f D)) m.
+  return 17.31 * std::sqrt(std::max(0.0, d1_km * d2_km) / (f_ghz * total));
+}
+
+double earth_bulge_m(double d1_km, double d2_km, double k_factor) noexcept {
+  // h = 1000 * d1*d2 / (2 K R_earth_km) meters = d1*d2 / (12.742 K).
+  return std::max(0.0, d1_km * d2_km) / (12.742 * k_factor);
+}
+
+Clearance evaluate_clearance(const terrain::PathProfile& profile,
+                             double antenna_a_m, double antenna_b_m,
+                             const ClearanceParams& params) {
+  CISP_REQUIRE(profile.size() >= 2, "profile needs at least two samples");
+  CISP_REQUIRE(params.frequency_ghz > 0.0, "frequency must be positive");
+  CISP_REQUIRE(params.k_factor > 0.0, "K factor must be positive");
+
+  const double total = profile.total_km;
+  const double alt_a = profile.ground_m.front() + antenna_a_m;
+  const double alt_b = profile.ground_m.back() + antenna_b_m;
+
+  Clearance result;
+  result.clear = true;
+  result.margin_m = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i + 1 < profile.size(); ++i) {
+    const double d1 = profile.dist_km[i];
+    const double d2 = total - d1;
+    const double beam =
+        alt_a + (alt_b - alt_a) * (total > 0.0 ? d1 / total : 0.0);
+    const double required = earth_bulge_m(d1, d2, params.k_factor) +
+                            params.fresnel_fraction *
+                                fresnel_radius_m(d1, d2, params.frequency_ghz);
+    const double margin = beam - required - profile.obstruction_m(i);
+    if (margin < result.margin_m) {
+      result.margin_m = margin;
+      result.critical_sample = i;
+    }
+  }
+  if (profile.size() == 2) {
+    // Adjacent towers with nothing between them: trivially clear.
+    result.margin_m = std::max(antenna_a_m, antenna_b_m);
+    result.critical_sample = 0;
+  }
+  result.clear = result.margin_m >= 0.0;
+  return result;
+}
+
+}  // namespace cisp::rf

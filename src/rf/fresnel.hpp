@@ -1,0 +1,54 @@
+#pragma once
+// Microwave line-of-sight geometry (§2, §3.1 of the paper): first Fresnel
+// zone width, effective-Earth-curvature bulge, and the clearance test that
+// decides whether a tower-to-tower hop is feasible.
+
+#include "terrain/profile.hpp"
+
+namespace cisp::rf {
+
+/// Paper defaults: f = 11 GHz, effective-Earth factor K = 1.3.
+inline constexpr double kDefaultFrequencyGhz = 11.0;
+inline constexpr double kDefaultEffectiveEarthK = 1.3;
+
+/// First Fresnel zone radius (m) at a point d1 km from one end and d2 km
+/// from the other, for frequency f in GHz. At the midpoint of a hop of
+/// length D this reduces to the paper's 8.7 m * sqrt(D_km) / sqrt(f_GHz).
+[[nodiscard]] double fresnel_radius_m(double d1_km, double d2_km,
+                                      double f_ghz) noexcept;
+
+/// Earth-curvature "bulge" height (m) at the same point, with atmospheric
+/// refraction folded in via the effective Earth radius factor K. At the
+/// midpoint of a hop of length D this is the paper's D_km^2 / (50 K) m.
+[[nodiscard]] double earth_bulge_m(double d1_km, double d2_km,
+                                   double k_factor) noexcept;
+
+/// Parameters of the clearance test.
+struct ClearanceParams {
+  double frequency_ghz = kDefaultFrequencyGhz;
+  double k_factor = kDefaultEffectiveEarthK;
+  /// Fraction of the first Fresnel zone that must be obstruction-free.
+  /// The paper requires a fully clear Fresnel zone (1.0).
+  double fresnel_fraction = 1.0;
+};
+
+/// Result of a clearance evaluation along a profile.
+struct Clearance {
+  bool clear = false;
+  /// Worst-case spare clearance (m): min over samples of
+  /// (beam height - bulge - Fresnel requirement - obstruction).
+  /// Negative when the hop is blocked.
+  double margin_m = 0.0;
+  /// Sample index achieving the minimum margin.
+  std::size_t critical_sample = 0;
+};
+
+/// Tests line-of-sight between antennas mounted `antenna_a_m` / `antenna_b_m`
+/// above ground at the two endpoints of `profile`. Endpoints themselves are
+/// not treated as obstructions.
+[[nodiscard]] Clearance evaluate_clearance(const terrain::PathProfile& profile,
+                                           double antenna_a_m,
+                                           double antenna_b_m,
+                                           const ClearanceParams& params = {});
+
+}  // namespace cisp::rf

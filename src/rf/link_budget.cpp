@@ -1,0 +1,41 @@
+#include "rf/link_budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rf/rain.hpp"
+#include "util/error.hpp"
+
+namespace cisp::rf {
+
+double fade_margin_db(double hop_km, const LinkBudgetParams& params) {
+  CISP_REQUIRE(hop_km > 0.0, "hop length must be positive");
+  const double decades = std::log10(std::max(hop_km, 1.0) / 10.0);
+  const double margin =
+      params.reference_margin_db - params.margin_slope_db_per_decade * decades;
+  return std::max(params.min_margin_db, margin);
+}
+
+bool hop_fails_in_rain(double hop_km, double rain_mm_h,
+                       const LinkBudgetParams& params) {
+  const double attenuation =
+      hop_rain_attenuation_db(hop_km, rain_mm_h, params.frequency_ghz);
+  return attenuation > fade_margin_db(hop_km, params);
+}
+
+double outage_rain_rate_mm_h(double hop_km, const LinkBudgetParams& params) {
+  if (!hop_fails_in_rain(hop_km, 1000.0, params)) return 1000.0;
+  double lo = 0.0;
+  double hi = 1000.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (hop_fails_in_rain(hop_km, mid, params)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace cisp::rf

@@ -1,0 +1,83 @@
+#include "rf/rain.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cisp::rf {
+
+namespace {
+struct TableRow {
+  double f_ghz;
+  double k_h;
+  double alpha_h;
+};
+
+// ITU-R P.838-3, horizontal polarization (k_H, alpha_H). Entries above
+// 20 GHz support the millimeter-wave / FSO technology profiles (§3.4).
+constexpr std::array<TableRow, 13> kTable{{
+    {4.0, 0.0001071, 1.6009},
+    {6.0, 0.0004878, 1.5728},
+    {7.0, 0.001425, 1.4745},
+    {8.0, 0.004115, 1.3905},
+    {10.0, 0.01217, 1.2571},
+    {12.0, 0.02386, 1.1825},
+    {15.0, 0.04481, 1.1233},
+    {20.0, 0.09164, 1.0568},
+    {30.0, 0.2403, 0.9485},
+    {40.0, 0.4431, 0.8673},
+    {60.0, 0.8606, 0.7656},
+    {80.0, 1.1946, 0.7115},
+    {100.0, 1.3797, 0.6765},
+}};
+}  // namespace
+
+RainCoefficients rain_coefficients(double f_ghz) {
+  CISP_REQUIRE(f_ghz >= kTable.front().f_ghz && f_ghz <= 110.0,
+               "rain coefficients valid for 4-110 GHz only");
+  const double f = std::min(f_ghz, kTable.back().f_ghz);
+  std::size_t hi = 1;
+  while (hi + 1 < kTable.size() && kTable[hi].f_ghz < f) ++hi;
+  const TableRow& lo_row = kTable[hi - 1];
+  const TableRow& hi_row = kTable[hi];
+  // log-log interpolation for k, log-linear for alpha (ITU practice).
+  const double t = (std::log(f) - std::log(lo_row.f_ghz)) /
+                   (std::log(hi_row.f_ghz) - std::log(lo_row.f_ghz));
+  RainCoefficients out;
+  out.k = std::exp(std::log(lo_row.k_h) +
+                   t * (std::log(hi_row.k_h) - std::log(lo_row.k_h)));
+  out.alpha = lo_row.alpha_h + t * (hi_row.alpha_h - lo_row.alpha_h);
+  if (f_ghz > kTable.back().f_ghz) {
+    // Gentle extrapolation above the table (sensitivity tests only).
+    out.k *= f_ghz / kTable.back().f_ghz;
+  }
+  return out;
+}
+
+double specific_attenuation_db_per_km(double rain_mm_h, double f_ghz) {
+  CISP_REQUIRE(rain_mm_h >= 0.0, "rain rate must be non-negative");
+  if (rain_mm_h == 0.0) return 0.0;
+  const RainCoefficients c = rain_coefficients(f_ghz);
+  return c.k * std::pow(rain_mm_h, c.alpha);
+}
+
+double path_reduction_factor(double hop_km, double rain_mm_h) {
+  CISP_REQUIRE(hop_km >= 0.0, "hop length must be non-negative");
+  // ITU-R P.530: d0 = 35 exp(-0.015 R). We cap the R in the exponent at
+  // 40 mm/h: beyond that the raw formula shrinks the effective path faster
+  // than gamma grows, making *total* attenuation dip with heavier rain — a
+  // model artifact. The cap keeps hop attenuation strictly monotone in
+  // rain rate (required for a well-defined outage threshold).
+  const double r_capped = std::min(rain_mm_h, 40.0);
+  const double d0 = 35.0 * std::exp(-0.015 * r_capped);
+  return 1.0 / (1.0 + hop_km / d0);
+}
+
+double hop_rain_attenuation_db(double hop_km, double rain_mm_h, double f_ghz) {
+  const double gamma = specific_attenuation_db_per_km(rain_mm_h, f_ghz);
+  return gamma * hop_km * path_reduction_factor(hop_km, rain_mm_h);
+}
+
+}  // namespace cisp::rf

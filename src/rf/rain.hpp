@@ -1,0 +1,31 @@
+#pragma once
+// Rain attenuation (§6.1): ITU-R P.838-3 specific attenuation power law
+// γ = k R^α (dB/km) with coefficients interpolated from the published table,
+// and the ITU-R P.530-style effective path length reduction.
+
+namespace cisp::rf {
+
+/// Power-law coefficients of γ = k R^α for horizontal polarization.
+struct RainCoefficients {
+  double k = 0.0;
+  double alpha = 0.0;
+};
+
+/// Coefficients at `f_ghz`, log-log interpolated from the P.838-3 table.
+/// Valid for 4-110 GHz (MW is 6-18 GHz; the upper bands serve the
+/// millimeter-wave and FSO technology profiles of §3.4).
+[[nodiscard]] RainCoefficients rain_coefficients(double f_ghz);
+
+/// Specific attenuation (dB/km) at rain rate `rain_mm_h` (mm/hour).
+[[nodiscard]] double specific_attenuation_db_per_km(double rain_mm_h,
+                                                    double f_ghz);
+
+/// Effective path length factor r in (0, 1]: heavy rain cells are small, so
+/// only part of a long hop sees the peak rate (ITU-R P.530 d0 model).
+[[nodiscard]] double path_reduction_factor(double hop_km, double rain_mm_h);
+
+/// Total rain attenuation over a hop (dB).
+[[nodiscard]] double hop_rain_attenuation_db(double hop_km, double rain_mm_h,
+                                             double f_ghz);
+
+}  // namespace cisp::rf

@@ -1,0 +1,56 @@
+#include "rf/technology.hpp"
+
+namespace cisp::rf {
+
+TechnologyProfile microwave() {
+  TechnologyProfile t;
+  t.medium = Medium::Microwave;
+  t.name = "microwave-11GHz";
+  t.frequency_ghz = 11.0;
+  t.max_range_km = 100.0;
+  t.series_gbps = 1.0;
+  t.fresnel_fraction = 1.0;
+  t.budget = LinkBudgetParams{};  // 11 GHz defaults
+  t.fog_outage_probability = 0.0;
+  t.install_cost_factor = 1.0;
+  return t;
+}
+
+TechnologyProfile millimeter_wave() {
+  TechnologyProfile t;
+  t.medium = Medium::MillimeterWave;
+  t.name = "mmw-73GHz";
+  t.frequency_ghz = 73.0;
+  t.max_range_km = 18.0;
+  t.series_gbps = 10.0;
+  t.fresnel_fraction = 0.6;  // tighter beams need less clearance
+  t.budget.frequency_ghz = 73.0;
+  // E-band gear carries less margin and rain bites much harder.
+  t.budget.reference_margin_db = 32.0;
+  t.budget.margin_slope_db_per_decade = 24.0;
+  t.budget.min_margin_db = 6.0;
+  t.fog_outage_probability = 0.0;
+  t.install_cost_factor = 0.8;  // volume E-band radios are cheap
+  return t;
+}
+
+TechnologyProfile free_space_optics() {
+  TechnologyProfile t;
+  t.medium = Medium::FreeSpaceOptics;
+  t.name = "fso";
+  // Effective rain-scattering behaviour comparable to E-band.
+  t.frequency_ghz = 90.0;
+  t.max_range_km = 8.0;
+  t.series_gbps = 40.0;
+  t.fresnel_fraction = 0.05;  // centimeter beams: line of sight only
+  t.budget.frequency_ghz = 90.0;
+  t.budget.reference_margin_db = 28.0;
+  t.budget.margin_slope_db_per_decade = 26.0;
+  t.budget.min_margin_db = 5.0;
+  // Fog: the dominant outage source for optics (independent of rain).
+  t.fog_outage_probability = 0.015;
+  t.install_cost_factor = 0.6;
+  return t;
+}
+
+}  // namespace cisp::rf

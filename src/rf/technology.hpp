@@ -1,0 +1,52 @@
+#pragma once
+// Physical-layer technology profiles (§3.4 "Generality"): the cISP design
+// framework is medium-agnostic — microwave, millimeter wave and free-space
+// optics differ only in range, per-link bandwidth, clearance requirements
+// and weather sensitivity. These profiles plug into hop engineering
+// (frequency/Fresnel), capacity planning (bandwidth per series) and the
+// outage model (fade margins), enabling the technology ablation the paper
+// sketches in §3.3/§3.4 (shorter-range, higher-bandwidth media win at
+// sufficiently high aggregate bandwidth).
+
+#include <string>
+
+#include "rf/link_budget.hpp"
+
+namespace cisp::rf {
+
+enum class Medium { Microwave, MillimeterWave, FreeSpaceOptics };
+
+struct TechnologyProfile {
+  Medium medium = Medium::Microwave;
+  std::string name;
+  /// Carrier frequency for clearance + rain models. FSO is modeled with an
+  /// effective "rain frequency" capturing that heavy rain scatters light
+  /// comparably to E-band radio (fog, its true nemesis, is modeled via
+  /// fog_outage_probability).
+  double frequency_ghz = 11.0;
+  double max_range_km = 100.0;
+  /// Bandwidth of a single link series, Gbps.
+  double series_gbps = 1.0;
+  /// Fraction of the first Fresnel zone that must be clear (FSO beams are
+  /// centimeters wide: effectively zero).
+  double fresnel_fraction = 1.0;
+  LinkBudgetParams budget;
+  /// Per-interval probability that fog (not rain) takes the hop down —
+  /// zero for radio, significant for FSO.
+  double fog_outage_probability = 0.0;
+  /// Cost multiplier on per-hop radio/terminal installs relative to MW.
+  double install_cost_factor = 1.0;
+};
+
+/// 6-18 GHz microwave: the paper's choice. 100 km hops, ~1 Gbps/series.
+[[nodiscard]] TechnologyProfile microwave();
+
+/// E-band millimeter wave (~73 GHz): ~10x the bandwidth at ~1/5 the range,
+/// much more rain-sensitive.
+[[nodiscard]] TechnologyProfile millimeter_wave();
+
+/// Free-space optics: fiber-class bandwidth over short hops; insensitive
+/// to spectrum licensing, highly sensitive to fog.
+[[nodiscard]] TechnologyProfile free_space_optics();
+
+}  // namespace cisp::rf

@@ -1,0 +1,109 @@
+#pragma once
+// Elevation models. `Heightfield` is the abstract interface consumed by the
+// RF line-of-sight code; `SyntheticTerrain` is our substitute for the NASA
+// SRTM/NED data (continental ridges + fBm detail + land-cover clutter);
+// `RasterTerrain` caches any heightfield on a regular grid so the millions
+// of profile samples in Step 1 are bilinear lookups.
+
+#include <memory>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "terrain/noise.hpp"
+
+namespace cisp::terrain {
+
+/// Axis-aligned lat/lon bounding box.
+struct BoundingBox {
+  double lat_min = 0.0;
+  double lat_max = 0.0;
+  double lon_min = 0.0;
+  double lon_max = 0.0;
+
+  [[nodiscard]] bool contains(const geo::LatLon& p) const noexcept {
+    return p.lat_deg >= lat_min && p.lat_deg <= lat_max &&
+           p.lon_deg >= lon_min && p.lon_deg <= lon_max;
+  }
+};
+
+/// Elevation + obstruction interface. Clutter is the extra height above
+/// ground that microwave paths must clear (tree canopy, low buildings); the
+/// NASA dataset in the paper folds this in, so we model it explicitly.
+class Heightfield {
+ public:
+  virtual ~Heightfield() = default;
+
+  /// Ground elevation above sea level, meters.
+  [[nodiscard]] virtual double elevation_m(const geo::LatLon& p) const = 0;
+  /// Obstruction height above ground, meters (canopy, clutter).
+  [[nodiscard]] virtual double clutter_m(const geo::LatLon& p) const = 0;
+};
+
+/// A mountain ridge: a great-circle segment with a Gaussian cross-section.
+struct Ridge {
+  geo::LatLon a;
+  geo::LatLon b;
+  double peak_m = 2000.0;   ///< crest height contribution at the axis
+  double width_km = 120.0;  ///< Gaussian sigma across the axis
+};
+
+/// Procedural continental terrain.
+class SyntheticTerrain final : public Heightfield {
+ public:
+  struct Params {
+    std::uint64_t seed = 1;
+    double base_m = 150.0;          ///< mean lowland elevation
+    double plains_amp_m = 120.0;    ///< low-frequency undulation amplitude
+    double rough_amp_m = 60.0;      ///< high-frequency roughness amplitude
+    double plains_freq = 0.35;      ///< per degree
+    double rough_freq = 4.0;        ///< per degree
+    std::vector<Ridge> ridges;
+    double canopy_max_m = 24.0;     ///< peak tree-canopy height
+    double canopy_freq = 0.8;       ///< canopy field frequency, per degree
+  };
+
+  explicit SyntheticTerrain(Params params);
+
+  [[nodiscard]] double elevation_m(const geo::LatLon& p) const override;
+  [[nodiscard]] double clutter_m(const geo::LatLon& p) const override;
+
+ private:
+  Params params_;
+  Fbm plains_;
+  Fbm rough_;
+  Fbm canopy_;
+};
+
+/// Rasterized cache of another heightfield over a bounding box; bilinear
+/// sampling, clamped at the box edges. Typical speedup over the procedural
+/// field: ~50x, which makes continental hop-feasibility sweeps practical.
+class RasterTerrain final : public Heightfield {
+ public:
+  RasterTerrain(const Heightfield& source, const BoundingBox& box,
+                double cell_deg, double clutter_cell_deg = 0.05);
+
+  [[nodiscard]] double elevation_m(const geo::LatLon& p) const override;
+  [[nodiscard]] double clutter_m(const geo::LatLon& p) const override;
+
+  [[nodiscard]] const BoundingBox& box() const noexcept { return box_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return elev_grid_.data.size();
+  }
+
+ private:
+  struct Grid {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    double cell_deg = 0.0;
+    std::vector<float> data;
+
+    [[nodiscard]] double sample(const BoundingBox& box, double lat,
+                                double lon) const noexcept;
+  };
+
+  BoundingBox box_;
+  Grid elev_grid_;
+  Grid clutter_grid_;
+};
+
+}  // namespace cisp::terrain

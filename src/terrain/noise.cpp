@@ -1,0 +1,69 @@
+#include "terrain/noise.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::terrain {
+
+namespace {
+/// Quintic smoothstep (Perlin's fade): zero first and second derivative at
+/// the lattice points, so profiles have no visible grid artifacts.
+constexpr double fade(double t) noexcept {
+  return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+}  // namespace
+
+double ValueNoise::lattice(std::int64_t ix, std::int64_t iy) const noexcept {
+  const std::uint64_t h = hash_combine(
+      seed_, hash_combine(static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ULL,
+                          static_cast<std::uint64_t>(iy)));
+  // Map to [-1, 1].
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double ValueNoise::at(double x, double y) const noexcept {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const double tx = fade(x - fx);
+  const double ty = fade(y - fy);
+  const double v00 = lattice(ix, iy);
+  const double v10 = lattice(ix + 1, iy);
+  const double v01 = lattice(ix, iy + 1);
+  const double v11 = lattice(ix + 1, iy + 1);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+Fbm::Fbm(const Params& params) : params_(params), noise_(params.seed) {
+  CISP_REQUIRE(params_.octaves >= 1, "fBm needs at least one octave");
+  CISP_REQUIRE(params_.frequency > 0.0, "fBm frequency must be positive");
+  double amp = 1.0;
+  double total = 0.0;
+  for (int i = 0; i < params_.octaves; ++i) {
+    total += amp;
+    amp *= params_.gain;
+  }
+  norm_ = 1.0 / total;
+}
+
+double Fbm::at(double x, double y) const noexcept {
+  double freq = params_.frequency;
+  double amp = 1.0;
+  double total = 0.0;
+  for (int i = 0; i < params_.octaves; ++i) {
+    // Offset octaves so they do not share lattice points.
+    const double ox = static_cast<double>(i) * 17.137;
+    const double oy = static_cast<double>(i) * 31.713;
+    total += amp * noise_.at(x * freq + ox, y * freq + oy);
+    freq *= params_.lacunarity;
+    amp *= params_.gain;
+  }
+  return total * norm_;
+}
+
+}  // namespace cisp::terrain

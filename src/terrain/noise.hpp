@@ -1,0 +1,47 @@
+#pragma once
+// Deterministic 2-D value noise and fractional Brownian motion (fBm).
+//
+// This is the stochastic backbone of the synthetic terrain that substitutes
+// for the NASA SRTM/NED elevation data used in the paper (§3.1): stateless,
+// seeded, and smooth, so line-of-sight profiles are reproducible.
+
+#include <cstdint>
+
+namespace cisp::terrain {
+
+/// Smooth value noise on a unit integer lattice. Output in [-1, 1].
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Noise value at (x, y); C1-continuous (smoothstep interpolation).
+  [[nodiscard]] double at(double x, double y) const noexcept;
+
+ private:
+  [[nodiscard]] double lattice(std::int64_t ix, std::int64_t iy) const noexcept;
+
+  std::uint64_t seed_;
+};
+
+/// Multi-octave fBm built on ValueNoise. Output approximately in [-1, 1].
+class Fbm {
+ public:
+  struct Params {
+    std::uint64_t seed = 1;
+    int octaves = 5;
+    double frequency = 1.0;   ///< base lattice frequency (per input unit)
+    double lacunarity = 2.0;  ///< frequency multiplier per octave
+    double gain = 0.5;        ///< amplitude multiplier per octave
+  };
+
+  explicit Fbm(const Params& params);
+
+  [[nodiscard]] double at(double x, double y) const noexcept;
+
+ private:
+  Params params_;
+  ValueNoise noise_;
+  double norm_ = 1.0;
+};
+
+}  // namespace cisp::terrain

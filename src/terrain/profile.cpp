@@ -1,0 +1,29 @@
+#include "terrain/profile.hpp"
+
+#include "geo/geodesic.hpp"
+#include "util/error.hpp"
+
+namespace cisp::terrain {
+
+PathProfile build_profile(const Heightfield& field, const geo::LatLon& a,
+                          const geo::LatLon& b, double step_km) {
+  CISP_REQUIRE(step_km > 0.0, "profile step must be positive");
+  PathProfile profile;
+  profile.total_km = geo::distance_km(a, b);
+  const auto points = geo::sample_path(a, b, step_km);
+  profile.dist_km.reserve(points.size());
+  profile.ground_m.reserve(points.size());
+  profile.clutter_m.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double frac = points.size() == 1
+                            ? 0.0
+                            : static_cast<double>(i) /
+                                  static_cast<double>(points.size() - 1);
+    profile.dist_km.push_back(frac * profile.total_km);
+    profile.ground_m.push_back(field.elevation_m(points[i]));
+    profile.clutter_m.push_back(field.clutter_m(points[i]));
+  }
+  return profile;
+}
+
+}  // namespace cisp::terrain

@@ -1,0 +1,33 @@
+#pragma once
+// Terrain profiles along a great-circle path: the input to line-of-sight
+// clearance testing (rf::hop_is_clear).
+
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "terrain/heightfield.hpp"
+
+namespace cisp::terrain {
+
+/// Evenly spaced samples of ground + clutter height between two endpoints.
+struct PathProfile {
+  double total_km = 0.0;
+  std::vector<double> dist_km;     ///< distance from endpoint A per sample
+  std::vector<double> ground_m;    ///< ground elevation per sample
+  std::vector<double> clutter_m;   ///< obstruction height above ground
+
+  [[nodiscard]] std::size_t size() const noexcept { return dist_km.size(); }
+  /// Ground + clutter at sample i.
+  [[nodiscard]] double obstruction_m(std::size_t i) const {
+    return ground_m[i] + clutter_m[i];
+  }
+};
+
+/// Samples the field along the great circle from a to b every ~step_km.
+/// Both endpoints are included.
+[[nodiscard]] PathProfile build_profile(const Heightfield& field,
+                                        const geo::LatLon& a,
+                                        const geo::LatLon& b,
+                                        double step_km = 0.25);
+
+}  // namespace cisp::terrain

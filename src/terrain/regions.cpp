@@ -1,0 +1,83 @@
+#include "terrain/regions.hpp"
+
+namespace cisp::terrain {
+
+Region contiguous_us(std::uint64_t seed) {
+  Region region;
+  region.name = "contiguous-us";
+  region.box = {.lat_min = 24.0, .lat_max = 50.0, .lon_min = -125.5,
+                .lon_max = -66.0};
+  SyntheticTerrain::Params p;
+  p.seed = seed;
+  p.base_m = 150.0;
+  p.plains_amp_m = 130.0;
+  p.rough_amp_m = 60.0;
+  p.canopy_max_m = 24.0;
+  p.ridges = {
+      // Northern Rockies (Montana/Idaho/Wyoming).
+      {{48.8, -114.5}, {43.0, -110.0}, 1900.0, 220.0},
+      // Southern Rockies (Colorado/New Mexico front ranges).
+      {{43.0, -110.0}, {35.5, -105.5}, 2400.0, 200.0},
+      // Great Basin / Colorado Plateau: broad elevated block.
+      {{40.5, -116.0}, {36.0, -111.5}, 1400.0, 420.0},
+      // Sierra Nevada.
+      {{40.0, -121.2}, {35.4, -118.2}, 2600.0, 70.0},
+      // Cascade Range.
+      {{48.8, -121.6}, {41.0, -122.2}, 2100.0, 80.0},
+      // Appalachians.
+      {{44.0, -71.5}, {34.5, -84.0}, 1150.0, 130.0},
+      // Ozarks/Ouachita (modest but real obstruction between TX and MO).
+      {{37.2, -92.5}, {34.6, -94.3}, 450.0, 110.0},
+  };
+  region.terrain_params = p;
+  return region;
+}
+
+Region europe(std::uint64_t seed) {
+  Region region;
+  region.name = "europe";
+  region.box = {.lat_min = 35.0, .lat_max = 62.5, .lon_min = -11.0,
+                .lon_max = 32.0};
+  SyntheticTerrain::Params p;
+  p.seed = seed;
+  p.base_m = 140.0;
+  p.plains_amp_m = 110.0;
+  p.rough_amp_m = 55.0;
+  p.canopy_max_m = 22.0;
+  p.ridges = {
+      // Alps.
+      {{45.9, 6.9}, {47.4, 13.8}, 2700.0, 110.0},
+      // Pyrenees.
+      {{43.3, -1.6}, {42.4, 2.9}, 2100.0, 60.0},
+      // Carpathians.
+      {{49.4, 19.5}, {45.6, 25.4}, 1500.0, 100.0},
+      // Apennines.
+      {{44.4, 8.6}, {40.0, 16.0}, 1400.0, 65.0},
+      // Dinaric Alps.
+      {{46.0, 14.0}, {42.0, 19.8}, 1350.0, 80.0},
+      // Scandinavian mountains.
+      {{58.0, 7.0}, {65.0, 14.0}, 1300.0, 130.0},
+      // Massif Central.
+      {{45.8, 2.7}, {44.3, 4.0}, 1100.0, 90.0},
+      // Cantabrian mountains + Iberian system.
+      {{43.1, -6.5}, {42.5, -2.5}, 1500.0, 70.0},
+  };
+  region.terrain_params = p;
+  return region;
+}
+
+Region flatland(const BoundingBox& box) {
+  Region region;
+  region.name = "flatland";
+  region.box = box;
+  SyntheticTerrain::Params p;
+  p.seed = 0;
+  p.base_m = 100.0;
+  p.plains_amp_m = 0.0;
+  p.rough_amp_m = 0.0;
+  p.canopy_max_m = 0.0;
+  region.terrain_params = p;
+  return region;
+}
+
+}  // namespace cisp::terrain

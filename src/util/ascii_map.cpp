@@ -1,0 +1,78 @@
+#include "util/ascii_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace cisp {
+
+AsciiMap::AsciiMap(double lat_min, double lat_max, double lon_min,
+                   double lon_max, std::size_t width, std::size_t height)
+    : lat_min_(lat_min),
+      lat_max_(lat_max),
+      lon_min_(lon_min),
+      lon_max_(lon_max),
+      width_(width),
+      height_(height),
+      grid_(height, std::string(width, ' ')) {
+  CISP_REQUIRE(lat_max > lat_min && lon_max > lon_min, "degenerate map box");
+  CISP_REQUIRE(width >= 10 && height >= 5, "map too small");
+}
+
+bool AsciiMap::to_cell(double lat, double lon, std::size_t& row,
+                       std::size_t& col) const {
+  if (lat < lat_min_ || lat > lat_max_ || lon < lon_min_ || lon > lon_max_) {
+    return false;
+  }
+  // Row 0 is the northern edge.
+  const double fr = (lat_max_ - lat) / (lat_max_ - lat_min_);
+  const double fc = (lon - lon_min_) / (lon_max_ - lon_min_);
+  row = std::min(height_ - 1,
+                 static_cast<std::size_t>(fr * static_cast<double>(height_)));
+  col = std::min(width_ - 1,
+                 static_cast<std::size_t>(fc * static_cast<double>(width_)));
+  return true;
+}
+
+void AsciiMap::plot(double lat, double lon, char symbol) {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  if (to_cell(lat, lon, row, col)) grid_[row][col] = symbol;
+}
+
+void AsciiMap::line(double lat_a, double lon_a, double lat_b, double lon_b,
+                    char symbol) {
+  // Dense parametric sampling: at most one sample per half-cell.
+  const double dlat = std::fabs(lat_b - lat_a) / (lat_max_ - lat_min_) *
+                      static_cast<double>(height_);
+  const double dlon = std::fabs(lon_b - lon_a) / (lon_max_ - lon_min_) *
+                      static_cast<double>(width_);
+  const auto steps =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   2.0 * std::max(dlat, dlon)));
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(steps);
+    plot(lat_a + (lat_b - lat_a) * f, lon_a + (lon_b - lon_a) * f, symbol);
+  }
+}
+
+void AsciiMap::label(double lat, double lon, const std::string& text) {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  if (!to_cell(lat, lon, row, col)) return;
+  for (std::size_t i = 0; i < text.size() && col + i < width_; ++i) {
+    grid_[row][col + i] = text[i];
+  }
+}
+
+void AsciiMap::print(std::ostream& os) const {
+  os << '+' << std::string(width_, '-') << "+\n";
+  for (const auto& row : grid_) {
+    os << '|' << row << "|\n";
+  }
+  os << '+' << std::string(width_, '-') << "+\n";
+}
+
+}  // namespace cisp

@@ -1,0 +1,37 @@
+#pragma once
+// Terminal map rendering for the Fig. 3 / Fig. 8 topology pictures: plots
+// sites and great-circle links onto a character grid over a lat/lon box.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cisp {
+
+class AsciiMap {
+ public:
+  /// Grid over [lat_min, lat_max] x [lon_min, lon_max]. Width/height in
+  /// characters; an equirectangular projection keeps shapes recognizable.
+  AsciiMap(double lat_min, double lat_max, double lon_min, double lon_max,
+           std::size_t width = 100, std::size_t height = 30);
+
+  /// Plots a point; later draws overwrite earlier ones at the same cell.
+  void plot(double lat, double lon, char symbol);
+  /// Draws a straight segment in lat/lon space (fine for continental maps).
+  void line(double lat_a, double lon_a, double lat_b, double lon_b,
+            char symbol);
+  /// Places a label starting at the map cell nearest (lat, lon).
+  void label(double lat, double lon, const std::string& text);
+
+  void print(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] bool to_cell(double lat, double lon, std::size_t& row,
+                             std::size_t& col) const;
+
+  double lat_min_, lat_max_, lon_min_, lon_max_;
+  std::size_t width_, height_;
+  std::vector<std::string> grid_;
+};
+
+}  // namespace cisp

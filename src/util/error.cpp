@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace cisp::detail {
+
+void throw_error(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [requirement `" << expr << "` failed at " << file << ':'
+     << line << ']';
+  throw Error(os.str());
+}
+
+}  // namespace cisp::detail

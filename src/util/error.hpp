@@ -1,0 +1,32 @@
+#pragma once
+// Error handling for cISP: a single exception type plus precondition macros.
+//
+// Following the C++ Core Guidelines (I.5/I.6, E.2): contract violations and
+// infeasible inputs throw cisp::Error; callers that can recover catch it,
+// everything else terminates with a readable message.
+
+#include <stdexcept>
+#include <string>
+
+namespace cisp {
+
+/// Exception thrown on contract violations and infeasible inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace cisp
+
+/// Precondition check: throws cisp::Error with location info when violated.
+#define CISP_REQUIRE(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::cisp::detail::throw_error(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace cisp {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion, as recommended by the xoshiro authors.
+  std::uint64_t x = seed;
+  for (auto& word : s_) {
+    x = splitmix64(x);
+    word = x;
+  }
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  has_cached_normal_ = false;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's multiply-shift rejection-free-enough method; bias is < 2^-64 * n
+  // which is irrelevant for simulation workloads.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(n);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) noexcept {
+  // log(1-u) with u in [0,1) never evaluates log(0).
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+bool Rng::chance(double p) noexcept { return uniform() < p; }
+
+Rng Rng::fork() noexcept { return Rng((*this)()); }
+
+}  // namespace cisp

@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic component in the library takes an explicit 64-bit seed so
+// that experiments are reproducible bit-for-bit across runs and machines.
+// The generator is xoshiro256** (public domain, Blackman & Vigna), seeded
+// via SplitMix64; both are self-contained so results do not depend on the
+// standard library's unspecified distribution implementations.
+
+#include <array>
+#include <cstdint>
+
+namespace cisp {
+
+/// SplitMix64 step: used for seeding and for stateless coordinate hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixes several values into one hash (for stateless procedural noise).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+  /// Log-normal where the *underlying* normal has the given mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  [[nodiscard]] double exponential(double rate) noexcept;
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Forks an independent stream (for per-component sub-generators).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cisp

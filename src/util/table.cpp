@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cisp {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  CISP_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  CISP_REQUIRE(cells.size() == columns_.size(),
+               "row width does not match column count");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(fmt(v, precision));
+  return add_row(std::move(formatted));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto rule = [&os, &widths] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  os << "== " << title_ << " ==\n";
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left
+       << columns_[c] << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::right
+         << row[c] << " |";
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? "," : "") << escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << escape(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+bool Table::maybe_write_csv(const std::string& slug) const {
+  const char* dir = std::getenv("CISP_BENCH_CSV");
+  if (dir == nullptr || *dir == '\0') return false;
+  std::ofstream file(std::string(dir) + "/" + slug + ".csv");
+  if (!file) return false;
+  write_csv(file);
+  return true;
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_money(double value, int precision) {
+  std::ostringstream os;
+  os << '$' << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace cisp

@@ -1,0 +1,45 @@
+#pragma once
+// ASCII table / series printing for the benchmark harness. Every bench
+// binary prints the rows or series of the corresponding paper figure; these
+// helpers keep that output uniform and optionally mirror it to CSV.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cisp {
+
+/// Column-aligned ASCII table with a title, header row and numeric formatting.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Adds a row of preformatted cells. Must match the column count.
+  Table& add_row(std::vector<std::string> cells);
+  /// Adds a row of doubles formatted with `precision` digits.
+  Table& add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders to the stream with box-drawing separators.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (header + rows).
+  void write_csv(std::ostream& os) const;
+  /// Writes CSV to `<dir>/<slug>.csv` if the CISP_BENCH_CSV env var is set;
+  /// no-op otherwise. Returns true if a file was written.
+  bool maybe_write_csv(const std::string& slug) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for ad-hoc cells).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Renders `value` as money, e.g. "$0.81".
+[[nodiscard]] std::string fmt_money(double value, int precision = 2);
+
+}  // namespace cisp

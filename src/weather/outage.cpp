@@ -1,0 +1,67 @@
+#include "weather/outage.hpp"
+
+#include <algorithm>
+
+#include "geo/geodesic.hpp"
+#include "rf/rain.hpp"
+
+namespace cisp::weather {
+
+bool OutageModel::hop_down(const infra::Tower& a, const infra::Tower& b,
+                           const RainField& rain, double t_s) const {
+  const double hop_km = geo::distance_km(a.pos, b.pos);
+  if (hop_km <= 0.0) return false;
+  const geo::LatLon mid = geo::interpolate(a.pos, b.pos, 0.5);
+  const double rate = std::max({rain.rain_mm_h(a.pos, t_s),
+                                rain.rain_mm_h(mid, t_s),
+                                rain.rain_mm_h(b.pos, t_s)});
+  if (rate <= 0.0) return false;
+  return rf::hop_fails_in_rain(hop_km, rate, budget);
+}
+
+bool OutageModel::link_down(const design::SiteLink& link,
+                            const std::vector<infra::Tower>& towers,
+                            const RainField& rain, double t_s) const {
+  for (std::size_t h = 0; h + 1 < link.tower_path.size(); ++h) {
+    if (hop_down(towers[link.tower_path[h]], towers[link.tower_path[h + 1]],
+                 rain, t_s)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double OutageModel::hop_capacity_factor(const infra::Tower& a,
+                                        const infra::Tower& b,
+                                        const RainField& rain,
+                                        double t_s) const {
+  const double hop_km = geo::distance_km(a.pos, b.pos);
+  if (hop_km <= 0.0) return 1.0;
+  const geo::LatLon mid = geo::interpolate(a.pos, b.pos, 0.5);
+  const double rate = std::max({rain.rain_mm_h(a.pos, t_s),
+                                rain.rain_mm_h(mid, t_s),
+                                rain.rain_mm_h(b.pos, t_s)});
+  if (rate <= 0.0) return 1.0;
+  const double margin = rf::fade_margin_db(hop_km, budget);
+  const double attenuation =
+      rf::hop_rain_attenuation_db(hop_km, rate, budget.frequency_ghz);
+  const double spare = margin - attenuation;
+  if (spare <= 0.0) return 0.0;
+  if (adaptive_headroom_db <= 0.0 || spare >= adaptive_headroom_db) return 1.0;
+  return spare / adaptive_headroom_db;
+}
+
+double OutageModel::link_capacity_factor(
+    const design::SiteLink& link, const std::vector<infra::Tower>& towers,
+    const RainField& rain, double t_s) const {
+  double factor = 1.0;
+  for (std::size_t h = 0; h + 1 < link.tower_path.size(); ++h) {
+    factor = std::min(
+        factor, hop_capacity_factor(towers[link.tower_path[h]],
+                                    towers[link.tower_path[h + 1]], rain, t_s));
+    if (factor <= 0.0) return 0.0;
+  }
+  return factor;
+}
+
+}  // namespace cisp::weather

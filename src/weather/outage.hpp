@@ -1,0 +1,48 @@
+#pragma once
+// Binary link-failure model (§6.1): a built MW link is down whenever any of
+// its tower-tower hops sees rain attenuation beyond its fade margin. The
+// paper deliberately treats this as binary (no graceful bandwidth
+// degradation) to be conservative.
+
+#include "design/link_engineering.hpp"
+#include "infra/towers.hpp"
+#include "rf/link_budget.hpp"
+#include "weather/rainfield.hpp"
+
+namespace cisp::weather {
+
+struct OutageModel {
+  rf::LinkBudgetParams budget;
+  /// Adaptive-modulation headroom (dB): a hop with this much spare margin
+  /// keeps full capacity; capacity then degrades linearly to zero as the
+  /// margin is eaten (the §6.1 "dynamic link bandwidth adjustment"
+  /// extension — the paper's binary model is the adaptive model with
+  /// headroom 0).
+  double adaptive_headroom_db = 12.0;
+
+  /// True if the hop between two towers fails at time t (rain sampled at
+  /// both ends and the midpoint; the max governs, as heavy cells are
+  /// smaller than hops).
+  [[nodiscard]] bool hop_down(const infra::Tower& a, const infra::Tower& b,
+                              const RainField& rain, double t_s) const;
+
+  /// True if any hop of the engineered link fails at time t.
+  [[nodiscard]] bool link_down(const design::SiteLink& link,
+                               const std::vector<infra::Tower>& towers,
+                               const RainField& rain, double t_s) const;
+
+  /// Fraction of nominal capacity the hop retains under adaptive
+  /// modulation: 1 with full margin, 0 when attenuation exceeds the fade
+  /// margin (the binary outage point).
+  [[nodiscard]] double hop_capacity_factor(const infra::Tower& a,
+                                           const infra::Tower& b,
+                                           const RainField& rain,
+                                           double t_s) const;
+
+  /// Bottleneck capacity factor over the link's hops (0 = hard down).
+  [[nodiscard]] double link_capacity_factor(
+      const design::SiteLink& link, const std::vector<infra::Tower>& towers,
+      const RainField& rain, double t_s) const;
+};
+
+}  // namespace cisp::weather

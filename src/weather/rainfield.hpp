@@ -1,0 +1,77 @@
+#pragma once
+// Synthetic precipitation process (§6.1's NASA TRMM/GPM substitute): a
+// year of storm cells with seasonal intensity, eastward advection, and a
+// convective/stratiform mix, queryable at any (position, time). Rain rates
+// are calibrated so that violent convective cores (> 80 mm/h) are rare and
+// localized while broad stratiform shields (< 15 mm/h) are common — the
+// regime split that drives microwave outages.
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "terrain/heightfield.hpp"
+
+namespace cisp::weather {
+
+/// Seconds in a simulated year/day.
+inline constexpr double kDayS = 86400.0;
+inline constexpr double kYearS = 365.0 * kDayS;
+
+struct RainParams {
+  std::uint64_t seed = 99;
+  /// Mean storm-cell births per day over the whole box in midwinter /
+  /// midsummer (sinusoidal in between; convective season peaks in summer).
+  double cells_per_day_winter = 18.0;
+  double cells_per_day_summer = 55.0;
+  /// Fraction of cells that are convective (small, violent).
+  double convective_fraction = 0.25;
+  /// Cell lifetime bounds, hours.
+  double min_lifetime_h = 1.0;
+  double max_lifetime_h = 10.0;
+  /// Advection velocity (eastward bias + jitter), km/h.
+  double advection_kmh = 40.0;
+};
+
+/// One storm cell: a Gaussian rain footprint moving across the map.
+struct StormCell {
+  geo::LatLon birth_pos;
+  double birth_s = 0.0;
+  double death_s = 0.0;
+  double peak_mm_h = 0.0;
+  double sigma_km = 0.0;
+  double heading_deg = 90.0;  ///< advection direction
+  double speed_kmh = 0.0;
+
+  [[nodiscard]] bool active(double t_s) const noexcept {
+    return t_s >= birth_s && t_s <= death_s;
+  }
+  /// Cell center at time t (must be active).
+  [[nodiscard]] geo::LatLon center_at(double t_s) const;
+  /// Rain contribution at a position and time, mm/h.
+  [[nodiscard]] double rain_at(const geo::LatLon& pos, double t_s) const;
+};
+
+/// A full year of weather over a bounding box.
+class RainField {
+ public:
+  RainField(const terrain::BoundingBox& box, const RainParams& params = {});
+
+  /// Total rain rate (mm/h) at a position and absolute time in [0, year).
+  [[nodiscard]] double rain_mm_h(const geo::LatLon& pos, double t_s) const;
+
+  /// Cells active at t (subset view, for tests and visualization).
+  [[nodiscard]] std::vector<const StormCell*> active_cells(double t_s) const;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+ private:
+  terrain::BoundingBox box_;
+  std::vector<StormCell> cells_;
+  /// Day index -> indices of cells possibly active that day.
+  std::vector<std::vector<std::uint32_t>> by_day_;
+};
+
+}  // namespace cisp::weather

@@ -1,0 +1,88 @@
+#include "weather/study.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace cisp::weather {
+
+StudyResult run_weather_study(const design::SiteProblem& problem,
+                              const design::Topology& topology,
+                              const std::vector<infra::Tower>& towers,
+                              const RainField& rain,
+                              const StudyParams& params) {
+  CISP_REQUIRE(params.days >= 1 && params.days <= 365, "days in [1, 365]");
+  const auto& input = problem.input;
+  const std::size_t n = input.site_count();
+
+  // Map built candidates to their engineered site links (tower paths).
+  std::unordered_map<std::uint64_t, const design::SiteLink*> by_pair;
+  for (const auto& l : problem.links) {
+    if (!l.feasible) continue;
+    by_pair[(static_cast<std::uint64_t>(std::min(l.site_a, l.site_b)) << 32) |
+            std::max(l.site_a, l.site_b)] = &l;
+  }
+  std::vector<const design::SiteLink*> built;
+  for (const std::size_t cand : topology.links) {
+    const auto& c = input.candidates()[cand];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(c.site_a, c.site_b)) << 32) |
+        std::max(c.site_a, c.site_b);
+    CISP_REQUIRE(by_pair.count(key) > 0, "built link without tower path");
+    built.push_back(by_pair[key]);
+  }
+
+  // Per-pair stretch samples over the year.
+  std::vector<cisp::Samples> pair_samples(n * n);
+  Rng rng(params.seed);
+  double down_fraction_acc = 0.0;
+  StudyResult result;
+
+  design::StretchEvaluator evaluator(input);
+  for (int day = 0; day < params.days; ++day) {
+    const double t =
+        static_cast<double>(day) * kDayS + rng.uniform() * (kDayS - 1800.0);
+    // Which built links are down in this interval?
+    std::size_t down = 0;
+    evaluator.reset();
+    for (std::size_t l = 0; l < built.size(); ++l) {
+      const bool is_down =
+          params.adaptive_bandwidth
+              ? params.outage.link_capacity_factor(*built[l], towers, rain,
+                                                   t) <= 0.0
+              : params.outage.link_down(*built[l], towers, rain, t);
+      if (is_down) {
+        ++down;
+      } else {
+        evaluator.add_link(topology.links[l]);
+      }
+    }
+    down_fraction_acc +=
+        built.empty() ? 0.0
+                      : static_cast<double>(down) / static_cast<double>(built.size());
+    if (down > 0) ++result.days_with_any_outage;
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t v = s + 1; v < n; ++v) {
+        pair_samples[s * n + v].add(evaluator.pair_stretch(s, v));
+      }
+    }
+  }
+  result.mean_links_down_fraction =
+      down_fraction_acc / static_cast<double>(params.days);
+
+  // Fiber-only reference.
+  evaluator.reset();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t v = s + 1; v < n; ++v) {
+      const auto& samples = pair_samples[s * n + v];
+      result.best_stretch.add(samples.min());
+      result.p99_stretch.add(samples.percentile(99));
+      result.worst_stretch.add(samples.max());
+      result.fiber_stretch.add(evaluator.pair_stretch(s, v));
+    }
+  }
+  return result;
+}
+
+}  // namespace cisp::weather

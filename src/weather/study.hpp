@@ -1,0 +1,46 @@
+#pragma once
+// The year-long weather resilience study (§6.1, Fig. 7): one random
+// 30-minute interval per day; links that rain takes out are removed, all
+// traffic reroutes onto the shortest surviving MW+fiber paths, and per-pair
+// stretch statistics are accumulated across the year.
+
+#include "design/scenario.hpp"
+#include "util/stats.hpp"
+#include "weather/outage.hpp"
+
+namespace cisp::weather {
+
+struct StudyParams {
+  std::uint64_t seed = 365;
+  int days = 365;
+  OutageModel outage;
+  /// §6.1 extension: with adaptive modulation, a link whose capacity
+  /// merely degrades (factor > 0) keeps carrying latency-sensitive traffic
+  /// instead of failing outright. The paper notes this "can only improve
+  /// these numbers"; setting this true quantifies by how much.
+  bool adaptive_bandwidth = false;
+};
+
+struct StudyResult {
+  /// Distributions ACROSS city pairs of the per-pair statistic over the
+  /// year (the four CDFs of Fig. 7).
+  cisp::Samples best_stretch;
+  cisp::Samples p99_stretch;
+  cisp::Samples worst_stretch;
+  cisp::Samples fiber_stretch;
+
+  /// Fraction of built links down, averaged over intervals.
+  double mean_links_down_fraction = 0.0;
+  /// Days on which at least one link was down.
+  int days_with_any_outage = 0;
+};
+
+/// Runs the study for a designed topology. `problem` must be the instance
+/// the topology was designed on.
+[[nodiscard]] StudyResult run_weather_study(const design::SiteProblem& problem,
+                                            const design::Topology& topology,
+                                            const std::vector<infra::Tower>& towers,
+                                            const RainField& rain,
+                                            const StudyParams& params = {});
+
+}  // namespace cisp::weather

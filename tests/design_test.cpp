@@ -1,0 +1,279 @@
+// Unit and property tests for the design core (§3.2): the stretch
+// evaluator, the greedy heuristic, the exact branch-and-bound (verified
+// against exhaustive enumeration), and the LP-rounding baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "design/exact.hpp"
+#include "design/greedy.hpp"
+#include "design/lp_rounding.hpp"
+#include "design/problem.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::design {
+namespace {
+
+/// Random instance: n sites scattered on a plane (geodesic = Euclidean km),
+/// fiber = geodesic * 1.9 effective, a candidate MW link per pair with
+/// mw = geodesic * 1.03..1.15 and cost ~ distance / hop_km.
+DesignInput random_instance(std::size_t n, std::uint64_t seed, double budget,
+                            double traffic_skew = 1.0) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 3000.0), rng.uniform(0.0, 1500.0)});
+  }
+  std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> fiber(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
+  std::vector<CandidateLink> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dx = pts[i].first - pts[j].first;
+      const double dy = pts[i].second - pts[j].second;
+      const double d = std::max(30.0, std::sqrt(dx * dx + dy * dy));
+      geod[i][j] = d;
+      fiber[i][j] = d * 1.9;
+      traffic[i][j] = std::pow(rng.uniform(0.05, 1.0), traffic_skew);
+      if (i < j) {
+        const double mw = d * rng.uniform(1.03, 1.15);
+        candidates.push_back({i, j, mw, std::ceil(d / 80.0) + 1.0});
+      }
+    }
+  }
+  // Make the matrices symmetric (rng drew both directions independently).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      traffic[j][i] = traffic[i][j];
+      fiber[j][i] = fiber[i][j];
+      geod[j][i] = geod[i][j];
+    }
+  }
+  return DesignInput(std::move(geod), std::move(fiber), std::move(traffic),
+                     std::move(candidates), budget);
+}
+
+/// Exhaustive optimum over all candidate subsets within budget.
+Topology brute_force(const DesignInput& input) {
+  const auto& cands = input.candidates();
+  CISP_REQUIRE(cands.size() <= 20, "brute force limited to 20 candidates");
+  Topology best = StretchEvaluator::evaluate(input, {});
+  for (unsigned mask = 1; mask < (1u << cands.size()); ++mask) {
+    double cost = 0.0;
+    std::vector<std::size_t> links;
+    for (std::size_t l = 0; l < cands.size(); ++l) {
+      if (mask & (1u << l)) {
+        cost += cands[l].cost_towers;
+        links.push_back(l);
+      }
+    }
+    if (cost > input.budget_towers()) continue;
+    const Topology t = StretchEvaluator::evaluate(input, std::move(links));
+    if (t.mean_stretch < best.mean_stretch) best = t;
+  }
+  return best;
+}
+
+TEST(DesignInput, ValidatesMatrices) {
+  EXPECT_THROW(DesignInput({{0.0}}, {{0.0}}, {{0.0}}, {}, 10.0), Error);
+  // Fiber below geodesic must be rejected.
+  EXPECT_THROW(DesignInput({{0, 100}, {100, 0}}, {{0, 90}, {90, 0}},
+                           {{0, 1}, {1, 0}}, {}, 10.0),
+               Error);
+  // Zero traffic everywhere must be rejected.
+  EXPECT_THROW(DesignInput({{0, 100}, {100, 0}}, {{0, 190}, {190, 0}},
+                           {{0, 0}, {0, 0}}, {}, 10.0),
+               Error);
+}
+
+TEST(DesignInput, PruneDropsMwSlowerThanFiber) {
+  std::vector<CandidateLink> cands = {
+      {0, 1, 120.0, 2.0},   // useful: 120 < fiber 190
+      {0, 1, 200.0, 2.0},   // dominated: 200 >= 190
+  };
+  DesignInput input({{0, 100}, {100, 0}}, {{0, 190}, {190, 0}},
+                    {{0, 1}, {1, 0}}, std::move(cands), 10.0);
+  EXPECT_EQ(input.prune_dominated_candidates(), 1u);
+  ASSERT_EQ(input.candidates().size(), 1u);
+  EXPECT_DOUBLE_EQ(input.candidates()[0].mw_km, 120.0);
+}
+
+TEST(StretchEvaluator, FiberOnlyStretchMatchesInflation) {
+  const auto input = random_instance(6, 1, 100.0);
+  StretchEvaluator eval(input);
+  // Fiber effective = 1.9 * geodesic everywhere in this instance, but
+  // multi-hop fiber routes through intermediate sites can be shorter.
+  EXPECT_LE(eval.mean_stretch(), 1.9 + 1e-9);
+  EXPECT_GT(eval.mean_stretch(), 1.3);
+}
+
+TEST(StretchEvaluator, AddLinkReducesPairStretch) {
+  const auto input = random_instance(6, 2, 100.0);
+  StretchEvaluator eval(input);
+  const auto& c = input.candidates()[0];
+  const double before = eval.pair_stretch(c.site_a, c.site_b);
+  eval.add_link(0);
+  const double after = eval.pair_stretch(c.site_a, c.site_b);
+  EXPECT_LT(after, before);
+  EXPECT_NEAR(after, c.mw_km / input.geodesic_km(c.site_a, c.site_b), 1e-12);
+}
+
+TEST(StretchEvaluator, BenefitMatchesActualImprovementProperty) {
+  const auto input = random_instance(7, 3, 100.0);
+  StretchEvaluator eval(input);
+  eval.add_link(2);
+  for (std::size_t l = 0; l < input.candidates().size(); l += 3) {
+    const double predicted = eval.benefit_of(l) / input.total_traffic();
+    StretchEvaluator copy = eval;
+    const double before = copy.mean_stretch();
+    copy.add_link(l);
+    const double actual = before - copy.mean_stretch();
+    EXPECT_NEAR(predicted, actual, 1e-9) << "link " << l;
+  }
+}
+
+TEST(StretchEvaluator, DistancesRemainMetricProperty) {
+  const auto input = random_instance(8, 4, 60.0);
+  StretchEvaluator eval(input);
+  for (std::size_t l = 0; l < std::min<std::size_t>(6, input.candidates().size());
+       ++l) {
+    eval.add_link(l);
+  }
+  const std::size_t n = input.site_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_LE(eval.effective_km(i, k),
+                  eval.effective_km(i, j) + eval.effective_km(j, k) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(StretchEvaluator, EvaluateRespectsBudgetAccounting) {
+  const auto input = random_instance(5, 5, 100.0);
+  const Topology t = StretchEvaluator::evaluate(input, {0, 1});
+  EXPECT_DOUBLE_EQ(t.cost_towers, input.candidates()[0].cost_towers +
+                                      input.candidates()[1].cost_towers);
+  EXPECT_GT(t.mean_stretch, 1.0);
+}
+
+TEST(Greedy, RespectsBudget) {
+  for (std::uint64_t seed = 10; seed < 15; ++seed) {
+    const auto input = random_instance(8, seed, 40.0);
+    const Topology t = solve_greedy(input);
+    EXPECT_LE(t.cost_towers, input.budget_towers() + 1e-9);
+    // Greedy must never be worse than building nothing.
+    const Topology nothing = StretchEvaluator::evaluate(input, {});
+    EXPECT_LE(t.mean_stretch, nothing.mean_stretch + 1e-12);
+  }
+}
+
+TEST(Greedy, ZeroBudgetBuildsNothing) {
+  const auto input = random_instance(6, 21, 0.0);
+  const Topology t = solve_greedy(input);
+  EXPECT_TRUE(t.links.empty());
+}
+
+TEST(Greedy, LargeBudgetApproachesAllUsefulLinks) {
+  const auto input = random_instance(6, 22, 1e9);
+  const Topology t = solve_greedy(input);
+  // With unlimited budget every pair should end up near its best MW
+  // stretch (1.03-1.15 by construction).
+  EXPECT_LT(t.mean_stretch, 1.16);
+}
+
+TEST(Exact, MatchesBruteForceOnSmallInstances) {
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    auto input = random_instance(5, seed, 25.0);
+    input.prune_dominated_candidates();
+    if (input.candidates().size() > 18) continue;  // keep brute force fast
+    const Topology reference = brute_force(input);
+    const ExactResult exact = solve_exact(input);
+    ASSERT_TRUE(exact.proven_optimal) << "seed " << seed;
+    EXPECT_NEAR(exact.topology.mean_stretch, reference.mean_stretch, 1e-9)
+        << "seed " << seed;
+    EXPECT_LE(exact.topology.cost_towers, input.budget_towers() + 1e-9);
+  }
+}
+
+TEST(Exact, GreedyMatchesExactOnSmallInstances) {
+  // The paper's Fig. 2(b): the heuristic matches the ILP optimum to two
+  // decimal places on instances the exact solver can handle.
+  int matches = 0;
+  int total = 0;
+  for (std::uint64_t seed = 40; seed < 48; ++seed) {
+    auto input = random_instance(6, seed, 30.0);
+    input.prune_dominated_candidates();
+    const ExactResult exact = solve_exact(input);
+    if (!exact.proven_optimal) continue;
+    const Topology heuristic = solve_cisp(input);
+    ++total;
+    EXPECT_GE(heuristic.mean_stretch, exact.topology.mean_stretch - 1e-9);
+    if (std::round(heuristic.mean_stretch * 100.0) ==
+        std::round(exact.topology.mean_stretch * 100.0)) {
+      ++matches;
+    }
+  }
+  ASSERT_GT(total, 4);
+  // All instances should match at 2-decimal precision.
+  EXPECT_EQ(matches, total);
+}
+
+TEST(Exact, PoolRestrictionHonored) {
+  auto input = random_instance(6, 50, 30.0);
+  input.prune_dominated_candidates();
+  ExactOptions options;
+  options.candidate_pool = {0, 1, 2};
+  const ExactResult r = solve_exact(input, options);
+  for (const std::size_t l : r.topology.links) {
+    EXPECT_LT(l, 3u);
+  }
+}
+
+TEST(Exact, TimeLimitAborts) {
+  auto input = random_instance(10, 51, 80.0, 2.0);
+  input.prune_dominated_candidates();
+  ExactOptions options;
+  options.max_nodes = 50;  // guaranteed too few
+  const ExactResult r = solve_exact(input, options);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_LE(r.topology.cost_towers, input.budget_towers() + 1e-9);
+}
+
+TEST(LpRounding, FeasibleAndNeverBeatsExact) {
+  for (std::uint64_t seed = 60; seed < 64; ++seed) {
+    auto input = random_instance(5, seed, 25.0);
+    input.prune_dominated_candidates();
+    const ExactResult exact = solve_exact(input);
+    ASSERT_TRUE(exact.proven_optimal);
+    const LpRoundingResult lp = solve_lp_rounding(input);
+    ASSERT_TRUE(lp.solved) << "seed " << seed;
+    EXPECT_LE(lp.topology.cost_towers, input.budget_towers() + 1e-9);
+    // Rounding a relaxation cannot beat the true optimum.
+    EXPECT_GE(lp.topology.mean_stretch, exact.topology.mean_stretch - 1e-9);
+  }
+}
+
+TEST(LpRounding, ReportsProblemSize) {
+  auto input = random_instance(5, 70, 25.0);
+  input.prune_dominated_candidates();
+  const LpRoundingResult lp = solve_lp_rounding(input);
+  EXPECT_GT(lp.lp_variables, input.candidates().size());
+  EXPECT_GT(lp.lp_constraints, 0u);
+}
+
+TEST(LpRounding, RejectsSlackBelowOne) {
+  auto input = random_instance(4, 71, 25.0);
+  LpRoundingOptions options;
+  options.elimination_slack = 0.5;
+  EXPECT_THROW(solve_lp_rounding(input, options), Error);
+}
+
+}  // namespace
+}  // namespace cisp::design

@@ -1,0 +1,91 @@
+// Tests for the GeoJSON exporter: structural validity (balanced braces,
+// expected feature kinds and counts) and property round-trips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "design/export.hpp"
+#include "design/greedy.hpp"
+#include "design/scenario.hpp"
+#include "util/error.hpp"
+
+namespace cisp::design {
+namespace {
+
+const Scenario& scenario() {
+  static const Scenario s = [] {
+    ScenarioOptions options;
+    options.fast = true;
+    options.top_cities = 40;
+    return build_us_scenario(options);
+  }();
+  return s;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Export, TopologyGeoJsonShape) {
+  const auto problem = city_city_problem(scenario(), 400.0, 12);
+  const auto topo = solve_greedy(problem.input);
+  ASSERT_FALSE(topo.links.empty());
+  const std::string json = topology_to_geojson(problem, topo);
+
+  EXPECT_EQ(count_occurrences(json, "\"FeatureCollection\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"kind\":\"site\""), 12u);
+  EXPECT_EQ(count_occurrences(json, "\"kind\":\"mw-link\""),
+            topo.links.size());
+  EXPECT_EQ(count_occurrences(json, "\"LineString\""), topo.links.size());
+  // Balanced braces / brackets (a cheap structural validity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Site names present.
+  EXPECT_NE(json.find(problem.names[0]), std::string::npos);
+}
+
+TEST(Export, PlanPropertiesAttach) {
+  const auto problem = city_city_problem(scenario(), 400.0, 12);
+  const auto topo = solve_greedy(problem.input);
+  CapacityParams cap;
+  cap.aggregate_gbps = 20.0;
+  const auto plan = plan_capacity(problem.input, topo, problem.links,
+                                  scenario().tower_graph.towers, cap);
+  const std::string json = topology_to_geojson(problem, topo, &plan);
+  EXPECT_EQ(count_occurrences(json, "\"demand_gbps\""), topo.links.size());
+  EXPECT_EQ(count_occurrences(json, "\"series\""), topo.links.size());
+}
+
+TEST(Export, TowersGeoJsonCapRespected) {
+  const auto& towers = scenario().tower_graph.towers;
+  const std::string all = towers_to_geojson(towers, 0);
+  const std::string capped = towers_to_geojson(towers, 50);
+  EXPECT_EQ(count_occurrences(all, "\"kind\":\"tower\""), towers.size());
+  EXPECT_EQ(count_occurrences(capped, "\"kind\":\"tower\""), 50u);
+  EXPECT_EQ(std::count(capped.begin(), capped.end(), '{'),
+            std::count(capped.begin(), capped.end(), '}'));
+}
+
+TEST(Export, CoordinatesAreLonLatOrder) {
+  // GeoJSON wants [lon, lat]; US longitudes are negative, latitudes 24-50.
+  const auto problem = city_city_problem(scenario(), 200.0, 5);
+  const auto topo = solve_greedy(problem.input);
+  const std::string json = topology_to_geojson(problem, topo);
+  const auto pos = json.find("\"coordinates\":[");
+  ASSERT_NE(pos, std::string::npos);
+  const double first_coord =
+      std::stod(json.substr(pos + std::string("\"coordinates\":[").size()));
+  EXPECT_LT(first_coord, 0.0);  // longitude, not latitude
+}
+
+}  // namespace
+}  // namespace cisp::design

@@ -1,0 +1,134 @@
+// Tests for the extension features beyond the paper's headline pipeline:
+// technology profiles (§3.4 generality), adaptive bandwidth degradation
+// (§6.1's "can only improve" remark), and the ASCII map renderer used by
+// the topology figures.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "design/greedy.hpp"
+#include "design/scenario.hpp"
+#include "rf/link_budget.hpp"
+#include "rf/rain.hpp"
+#include "rf/technology.hpp"
+#include "util/ascii_map.hpp"
+#include "util/error.hpp"
+#include "weather/outage.hpp"
+#include "weather/study.hpp"
+
+namespace cisp {
+namespace {
+
+TEST(Technology, ProfilesEncodeTheRangeBandwidthTradeoff) {
+  const auto mw = rf::microwave();
+  const auto mmw = rf::millimeter_wave();
+  const auto fso = rf::free_space_optics();
+  // Range ordering: MW >> MMW > FSO.
+  EXPECT_GT(mw.max_range_km, 3.0 * mmw.max_range_km);
+  EXPECT_GT(mmw.max_range_km, fso.max_range_km);
+  // Bandwidth ordering is inverted.
+  EXPECT_LT(mw.series_gbps, mmw.series_gbps);
+  EXPECT_LT(mmw.series_gbps, fso.series_gbps);
+  // Only FSO fears fog.
+  EXPECT_DOUBLE_EQ(mw.fog_outage_probability, 0.0);
+  EXPECT_GT(fso.fog_outage_probability, 0.0);
+}
+
+TEST(Technology, HigherBandsBreakAtLowerRainRates) {
+  const auto mw = rf::microwave();
+  const auto mmw = rf::millimeter_wave();
+  // Same 12 km hop: the E-band hop dies at a far lower rain rate.
+  const double mw_threshold = rf::outage_rain_rate_mm_h(12.0, mw.budget);
+  const double mmw_threshold = rf::outage_rain_rate_mm_h(12.0, mmw.budget);
+  EXPECT_LT(mmw_threshold, mw_threshold * 0.5);
+}
+
+TEST(Technology, FresnelNeedsShrinkWithBeamWidth) {
+  EXPECT_LT(rf::free_space_optics().fresnel_fraction,
+            rf::millimeter_wave().fresnel_fraction);
+  EXPECT_LT(rf::millimeter_wave().fresnel_fraction,
+            rf::microwave().fresnel_fraction + 1e-12);
+}
+
+TEST(AdaptiveOutage, CapacityFactorBracketsBinaryModel) {
+  // factor == 0 exactly when the binary model says "down"; clear weather
+  // gives factor 1; the transition in between is monotone in rain rate.
+  weather::OutageModel model;
+  const terrain::BoundingBox box{35.0, 45.0, -110.0, -90.0};
+  weather::RainParams none;
+  none.cells_per_day_summer = 0.0;
+  none.cells_per_day_winter = 0.0;
+  const weather::RainField dry(box, none);
+  infra::Tower a{{40.0, -100.0}, 120.0};
+  infra::Tower b{{40.0, -99.2}, 120.0};
+  EXPECT_DOUBLE_EQ(model.hop_capacity_factor(a, b, dry, 1000.0), 1.0);
+
+  const weather::RainField wet(box);
+  // Sweep the year; wherever the binary model declares the hop down, the
+  // factor must be 0, and vice versa.
+  for (double t = 150.0 * weather::kDayS; t < 250.0 * weather::kDayS;
+       t += weather::kDayS / 3.0) {
+    const bool down = model.hop_down(a, b, wet, t);
+    const double factor = model.hop_capacity_factor(a, b, wet, t);
+    EXPECT_EQ(down, factor <= 0.0) << "t=" << t;
+    EXPECT_GE(factor, 0.0);
+    EXPECT_LE(factor, 1.0);
+  }
+}
+
+TEST(AdaptiveOutage, StudyImprovesWorstCase) {
+  design::ScenarioOptions options;
+  options.fast = true;
+  options.top_cities = 40;
+  const auto scenario = design::build_us_scenario(options);
+  const auto problem = design::city_city_problem(scenario, 500.0, 18);
+  const auto topo = design::solve_greedy(problem.input);
+  const weather::RainField rain(scenario.region.box);
+
+  weather::StudyParams binary;
+  binary.days = 90;
+  weather::StudyParams adaptive = binary;
+  adaptive.adaptive_bandwidth = true;
+  const auto b = weather::run_weather_study(
+      problem, topo, scenario.tower_graph.towers, rain, binary);
+  const auto a = weather::run_weather_study(
+      problem, topo, scenario.tower_graph.towers, rain, adaptive);
+  // Adaptive keeps grazed links alive: never more outage, never worse
+  // stretch (the paper's "can only improve these numbers").
+  EXPECT_LE(a.mean_links_down_fraction, b.mean_links_down_fraction + 1e-12);
+  EXPECT_LE(a.worst_stretch.median(), b.worst_stretch.median() + 1e-12);
+  EXPECT_LE(a.days_with_any_outage, b.days_with_any_outage);
+}
+
+TEST(AsciiMap, PlotsLinesAndLabelsInsideBox) {
+  AsciiMap map(24.0, 50.0, -125.0, -66.0, 60, 20);
+  map.line(40.7, -74.0, 34.05, -118.24, '*');
+  map.plot(40.7, -74.0, 'O');
+  map.label(45.0, -100.0, "HELLO");
+  std::ostringstream os;
+  map.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('O'), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("HELLO"), std::string::npos);
+  // 20 grid rows + 2 border rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 22);
+}
+
+TEST(AsciiMap, IgnoresOutOfBoxPoints) {
+  AsciiMap map(24.0, 50.0, -125.0, -66.0, 60, 20);
+  map.plot(60.0, -100.0, 'X');  // north of the box
+  map.plot(40.0, -130.0, 'X');  // west of the box
+  std::ostringstream os;
+  map.print(os);
+  EXPECT_EQ(os.str().find('X'), std::string::npos);
+}
+
+TEST(AsciiMap, RejectsDegenerateBox) {
+  EXPECT_THROW(AsciiMap(10.0, 10.0, 0.0, 1.0), Error);
+  EXPECT_THROW(AsciiMap(0.0, 1.0, 0.0, 1.0, 4, 4), Error);
+}
+
+}  // namespace
+}  // namespace cisp

@@ -36,6 +36,23 @@ inline double maybe_fast(double full, double fast) {
   return fast_mode() ? fast : full;
 }
 
+/// Worker threads for engine sweeps: the CISP_THREADS env var, or 0 (= all
+/// hardware threads). Sweeps are bit-identical for every value; the knob
+/// exists for speedup measurements and for pinning CI runs.
+inline std::size_t thread_count() {
+  const char* v = std::getenv("CISP_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  return static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+}
+
+/// Context every bench experiment runs under (threads + fast mode).
+inline engine::ExperimentContext context() {
+  engine::ExperimentContext ctx;
+  ctx.threads = thread_count();
+  ctx.fast = fast_mode();
+  return ctx;
+}
+
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "==============================================================\n"
             << title << "\n"

@@ -2,37 +2,50 @@
 // (population product), inter-data-center (6 Google US sites, uniform),
 // and city-to-nearest-DC. The city-city model needs the widest footprint
 // and is the most expensive; the DC models come out cheaper.
+//
+// Both stages run as engine sweeps: the three model designs solve in
+// parallel, then the model x throughput capacity grid fans out on the
+// pool. Output is identical for any CISP_THREADS value.
 
 #include "bench_common.hpp"
 
-int main() {
+namespace {
+
+void run(const cisp::engine::ExperimentContext& ctx) {
   using namespace cisp;
-  bench::banner("fig09_traffic_models", "Fig. 9 $/GB per traffic model");
 
   const auto scenario = bench::us_scenario();
-  const std::size_t centers = bench::maybe_fast(0, 40);
+  const std::size_t centers = ctx.fast ? 40 : 0;
 
   struct Model {
     const char* name;
     design::SiteProblem problem;
     design::Topology topology;
   };
-  std::vector<Model> models;
-  {
-    auto p = design::city_city_problem(scenario, 3000.0, centers);
-    auto t = design::solve_greedy(p.input);
-    models.push_back({"City-City", std::move(p), std::move(t)});
-  }
-  {
-    auto p = design::dc_dc_problem(scenario, 1200.0);
-    auto t = design::solve_greedy(p.input);
-    models.push_back({"DC-DC", std::move(p), std::move(t)});
-  }
-  {
-    auto p = design::city_dc_problem(scenario, 1500.0, centers);
-    auto t = design::solve_greedy(p.input);
-    models.push_back({"City-DC", std::move(p), std::move(t)});
-  }
+
+  // Stage 1: the three designs are independent solves — a 3-task sweep.
+  const std::vector<const char*> names = {"City-City", "DC-DC", "City-DC"};
+  engine::Grid design_grid;
+  design_grid.index_axis("model", names.size());
+  auto designs = engine::run_sweep(
+      design_grid,
+      [&](const engine::Point& point) {
+        design::SiteProblem problem = [&] {
+          switch (point.index("model")) {
+            case 0:
+              return design::city_city_problem(scenario, 3000.0, centers);
+            case 1:
+              return design::dc_dc_problem(scenario, 1200.0);
+            default:
+              return design::city_dc_problem(scenario, 1500.0, centers);
+          }
+        }();
+        design::Topology topology = design::solve_greedy(problem.input);
+        return Model{names[point.index("model")], std::move(problem),
+                     std::move(topology)};
+      },
+      {.threads = ctx.threads});
+  const auto& models = designs.per_task;
 
   for (const auto& m : models) {
     std::cout << m.name << ": stretch=" << fmt(m.topology.mean_stretch, 3)
@@ -41,17 +54,30 @@ int main() {
   }
   std::cout << "\n";
 
+  // Stage 2: capacity planning over throughput x model.
+  const std::vector<double> throughputs = {10.0,  25.0,  50.0, 75.0,
+                                           100.0, 150.0, 200.0};
+  engine::Grid cap_grid;
+  cap_grid.axis("gbps", throughputs).index_axis("model", models.size());
+  const auto costs = engine::run_sweep(
+      cap_grid,
+      [&](const engine::Point& point) {
+        const auto& m = models[point.index("model")];
+        design::CapacityParams cap;
+        cap.aggregate_gbps = point.value("gbps");
+        const auto plan =
+            design::plan_capacity(m.problem.input, m.topology, m.problem.links,
+                                  scenario.tower_graph.towers, cap);
+        return design::cost_of(plan).usd_per_gb;
+      },
+      {.threads = ctx.threads});
+
   Table table("Fig 9: cost per GB vs aggregate throughput",
               {"aggregate_gbps", "City-City", "DC-DC", "City-DC"});
-  for (const double gbps : {10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0}) {
-    std::vector<std::string> row = {fmt(gbps, 0)};
-    for (const auto& m : models) {
-      design::CapacityParams cap;
-      cap.aggregate_gbps = gbps;
-      const auto plan =
-          design::plan_capacity(m.problem.input, m.topology, m.problem.links,
-                                scenario.tower_graph.towers, cap);
-      row.push_back(fmt(design::cost_of(plan).usd_per_gb, 3));
+  for (std::size_t g = 0; g < throughputs.size(); ++g) {
+    std::vector<std::string> row = {fmt(throughputs[g], 0)};
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      row.push_back(fmt(costs.at(g * models.size() + m), 3));
     }
     table.add_row(row);
   }
@@ -60,5 +86,16 @@ int main() {
   std::cout << "\nPaper shape: City-City is the most expensive at every "
                "throughput; the DC-DC\nand City-DC scenarios are cheaper "
                "(smaller footprints), and all curves fall\nwith scale.\n";
+}
+
+const cisp::engine::RegisterExperiment kRegistration{
+    "fig09_traffic_models", "Fig. 9: $/GB per traffic model", run};
+
+}  // namespace
+
+int main() {
+  cisp::bench::banner("fig09_traffic_models", "Fig. 9 $/GB per traffic model");
+  cisp::engine::ExperimentRegistry::instance().run("fig09_traffic_models",
+                                                   cisp::bench::context());
   return 0;
 }

@@ -128,6 +128,49 @@ void BM_StretchEvaluatorAddLink(benchmark::State& state) {
 }
 BENCHMARK(BM_StretchEvaluatorAddLink)->Arg(60)->Arg(120);
 
+// engine_sweep: serial vs N-thread wall time for a weather-study slice run
+// through engine::run_sweep. Compare real time at Arg(1) vs Arg(4): results
+// are bit-identical at every thread count, only the wall clock moves.
+const auto& weather_slice() {
+  struct Slice {
+    design::Scenario scenario;
+    design::SiteProblem problem;
+    design::Topology topo;
+    weather::RainField rain;
+  };
+  static const Slice slice = [] {
+    design::ScenarioOptions options;
+    options.fast = true;
+    options.top_cities = 40;
+    auto scenario = design::build_us_scenario(options);
+    auto problem = design::city_city_problem(scenario, 500.0, 20);
+    auto topo = design::solve_greedy(problem.input);
+    weather::RainField rain(scenario.region.box);
+    return Slice{std::move(scenario), std::move(problem), std::move(topo),
+                 std::move(rain)};
+  }();
+  return slice;
+}
+
+void BM_EngineSweepWeatherSlice(benchmark::State& state) {
+  const auto& slice = weather_slice();
+  weather::StudyParams params;
+  params.days = 60;
+  params.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        weather::run_weather_study(slice.problem, slice.topo,
+                                   slice.scenario.tower_graph.towers,
+                                   slice.rain, params));
+  }
+}
+BENCHMARK(BM_EngineSweepWeatherSlice)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DesPacketForwarding(benchmark::State& state) {
   for (auto _ : state) {
     net::Simulator sim;

@@ -26,6 +26,10 @@
 #include "design/greedy.hpp"    // IWYU pragma: export
 #include "design/lp_rounding.hpp"  // IWYU pragma: export
 #include "design/scenario.hpp"  // IWYU pragma: export
+#include "engine/collector.hpp"   // IWYU pragma: export
+#include "engine/executor.hpp"    // IWYU pragma: export
+#include "engine/experiment.hpp"  // IWYU pragma: export
+#include "engine/sweep.hpp"       // IWYU pragma: export
 #include "geo/geodesic.hpp"     // IWYU pragma: export
 #include "geo/spatial_index.hpp"  // IWYU pragma: export
 #include "graph/dijkstra.hpp"   // IWYU pragma: export

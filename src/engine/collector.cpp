@@ -1,0 +1,40 @@
+#include "engine/collector.hpp"
+
+namespace cisp::engine {
+
+cisp::Samples SamplesCollector::merged() const {
+  std::vector<double> all;
+  all.reserve(total_count());
+  for (const auto& shard : shards_) {
+    all.insert(all.end(), shard.begin(), shard.end());
+  }
+  return cisp::Samples(std::move(all));
+}
+
+double SamplesCollector::merged_sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    double partial = 0.0;
+    for (const double v : shard) partial += v;
+    total += partial;
+  }
+  return total;
+}
+
+std::size_t SamplesCollector::total_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard.size();
+  return n;
+}
+
+cisp::Samples SamplesBank::merged(std::size_t series) const {
+  CISP_REQUIRE(series < num_series_, "SamplesBank series out of range");
+  std::vector<double> all;
+  for (std::size_t t = 0; t < num_tasks_; ++t) {
+    const auto& shard = shards_[series * num_tasks_ + t];
+    all.insert(all.end(), shard.begin(), shard.end());
+  }
+  return cisp::Samples(std::move(all));
+}
+
+}  // namespace cisp::engine

@@ -1,0 +1,56 @@
+#include "engine/executor.hpp"
+
+namespace cisp::engine {
+
+std::size_t default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+Executor::Executor(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads);
+  try {
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread spawn failed partway (resource exhaustion): shut down the
+    // workers that did start so their std::thread destructors don't
+    // terminate the process, then let the exception reach the caller.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task captures any exception into the future; nothing escapes
+    // onto the worker thread.
+    task();
+  }
+}
+
+}  // namespace cisp::engine

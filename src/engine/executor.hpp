@@ -1,0 +1,69 @@
+#pragma once
+// Fixed-size thread pool with futures, exception propagation and clean
+// shutdown — the execution substrate of the parallel experiment engine.
+//
+// Tasks are closures submitted to a shared FIFO queue; each returns a
+// std::future so callers harvest results (or rethrown exceptions) in
+// whatever order they choose. The pool joins all workers on destruction;
+// tasks still queued at shutdown are abandoned only after the destructor
+// drains in-flight work, so `Executor` on the stack gives deterministic
+// cleanup.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cisp::engine {
+
+/// Number of workers to use when the caller passes 0: the hardware
+/// concurrency, with a floor of 1 (hardware_concurrency may report 0).
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+class Executor {
+ public:
+  /// Spawns `threads` workers (0 = default_thread_count()). A pool of one
+  /// worker still runs tasks on that worker, never inline, so task-local
+  /// state behaves identically at every size.
+  explicit Executor(std::size_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Submits a nullary callable; the returned future yields its result or
+  /// rethrows whatever it threw. Safe to call from multiple threads.
+  template <typename Fn>
+  [[nodiscard]] std::future<std::invoke_result_t<Fn>> submit(Fn&& fn) {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace cisp::engine

@@ -1,0 +1,57 @@
+#include "engine/experiment.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cisp::engine {
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(std::string name, std::string description,
+                             ExperimentFn fn) {
+  CISP_REQUIRE(!name.empty(), "experiment name must be non-empty");
+  CISP_REQUIRE(static_cast<bool>(fn), "experiment fn must be callable");
+  CISP_REQUIRE(!contains(name), "duplicate experiment name: " + name);
+  entries_.emplace_back(std::move(name),
+                        Entry{std::move(description), std::move(fn)});
+}
+
+bool ExperimentRegistry::contains(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == name; });
+}
+
+void ExperimentRegistry::run(const std::string& name,
+                             const ExperimentContext& context) const {
+  for (const auto& [entry_name, entry] : entries_) {
+    if (entry_name == name) {
+      entry.fn(context);
+      return;
+    }
+  }
+  CISP_REQUIRE(false, "unknown experiment: " + name);
+}
+
+std::vector<ExperimentInfo> ExperimentRegistry::list() const {
+  std::vector<ExperimentInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    infos.push_back({name, entry.description});
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return infos;
+}
+
+RegisterExperiment::RegisterExperiment(std::string name,
+                                       std::string description,
+                                       ExperimentFn fn) {
+  ExperimentRegistry::instance().add(std::move(name), std::move(description),
+                                     std::move(fn));
+}
+
+}  // namespace cisp::engine

@@ -1,0 +1,66 @@
+#pragma once
+// Registry of named experiments: the uniform entry point the bench and
+// example binaries hang their sweeps on. An experiment is a callable that
+// receives an ExperimentContext (thread count, base seed, fast flag) and
+// runs a pipeline — typically a Grid + run_sweep over an existing design /
+// simulation / weather pipeline. Registering through here gives every
+// workload the same CLI-ish surface (list, run-by-name) and makes new
+// scenarios (regions, failure models, traffic mixes) pluggable without new
+// driver code.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cisp::engine {
+
+/// Knobs shared by every experiment run.
+struct ExperimentContext {
+  std::size_t threads = 0;     ///< 0 = default_thread_count()
+  std::uint64_t base_seed = 0;
+  bool fast = false;           ///< coarse substrates for smoke runs
+};
+
+using ExperimentFn = std::function<void(const ExperimentContext&)>;
+
+struct ExperimentInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Process-wide registry. Registration is typically done at static-init
+/// time via RegisterExperiment; lookups and runs are by unique name.
+class ExperimentRegistry {
+ public:
+  /// The process-wide instance.
+  [[nodiscard]] static ExperimentRegistry& instance();
+
+  /// Registers a uniquely named experiment. Throws cisp::Error on a
+  /// duplicate name.
+  void add(std::string name, std::string description, ExperimentFn fn);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Runs the named experiment. Throws cisp::Error for an unknown name.
+  void run(const std::string& name, const ExperimentContext& context) const;
+
+  /// All registered experiments, sorted by name.
+  [[nodiscard]] std::vector<ExperimentInfo> list() const;
+
+ private:
+  struct Entry {
+    std::string description;
+    ExperimentFn fn;
+  };
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+/// Static-init helper:
+///   static engine::RegisterExperiment reg{"weather_study", "...", fn};
+struct RegisterExperiment {
+  RegisterExperiment(std::string name, std::string description,
+                     ExperimentFn fn);
+};
+
+}  // namespace cisp::engine

@@ -1,0 +1,74 @@
+#include "engine/sweep.hpp"
+
+#include <numeric>
+
+namespace cisp::engine {
+
+std::size_t Point::axis_position(std::string_view axis_name) const {
+  for (std::size_t a = 0; a < axes_->size(); ++a) {
+    if ((*axes_)[a].name == axis_name) return a;
+  }
+  CISP_REQUIRE(false, "unknown sweep axis: " + std::string(axis_name));
+  return 0;  // unreachable
+}
+
+double Point::value(std::string_view axis_name) const {
+  const std::size_t a = axis_position(axis_name);
+  return (*axes_)[a].values[indices_[a]];
+}
+
+std::size_t Point::index(std::string_view axis_name) const {
+  return indices_[axis_position(axis_name)];
+}
+
+Grid& Grid::axis(std::string name, std::vector<double> values) {
+  CISP_REQUIRE(!name.empty(), "axis name must be non-empty");
+  CISP_REQUIRE(!values.empty(), "axis must have at least one value");
+  for (const auto& existing : axes_) {
+    CISP_REQUIRE(existing.name != name, "duplicate axis name: " + name);
+  }
+  axes_.push_back({std::move(name), std::move(values)});
+  return *this;
+}
+
+Grid& Grid::index_axis(std::string name, std::size_t n) {
+  CISP_REQUIRE(n > 0, "index axis must have at least one value");
+  std::vector<double> values(n);
+  std::iota(values.begin(), values.end(), 0.0);
+  return axis(std::move(name), std::move(values));
+}
+
+Grid& Grid::replicates(int n) {
+  CISP_REQUIRE(n >= 1, "replicates must be >= 1");
+  replicates_ = n;
+  return *this;
+}
+
+Grid& Grid::base_seed(std::uint64_t seed) {
+  base_seed_ = seed;
+  return *this;
+}
+
+std::size_t Grid::size() const {
+  std::size_t n = static_cast<std::size_t>(replicates_);
+  for (const auto& axis : axes_) n *= axis.values.size();
+  return n;
+}
+
+Point Grid::point(std::size_t task_index) const {
+  CISP_REQUIRE(task_index < size(), "task_index out of range");
+  std::size_t rest = task_index;
+  const int replicate = static_cast<int>(
+      rest % static_cast<std::size_t>(replicates_));
+  rest /= static_cast<std::size_t>(replicates_);
+  // Last axis varies fastest (row-major over axes).
+  std::vector<std::size_t> indices(axes_.size(), 0);
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    indices[a] = rest % axes_[a].values.size();
+    rest /= axes_[a].values.size();
+  }
+  return Point(&axes_, std::move(indices), task_index, replicate,
+               task_seed(task_index));
+}
+
+}  // namespace cisp::engine

@@ -1,0 +1,167 @@
+#pragma once
+// Declarative parameter sweeps: a Grid of named axes × Monte Carlo
+// replicates expands into a flat task list; run_sweep() maps a function
+// over every task on an Executor and returns results indexed by task.
+//
+// Determinism contract: every task carries a seed derived by SplitMix64
+// from (base_seed, task_index), and results land in a slot addressed by
+// task_index — so a sweep whose task function is a pure function of its
+// Point produces **bit-identical** results regardless of thread count or
+// completion order. This is what lets the year-long weather study and the
+// figure sweeps scale across cores without losing reproducibility.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "engine/executor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::engine {
+
+/// One named sweep dimension.
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// One expanded task: the axis values at this grid point, which replicate
+/// it is, and the deterministic per-task seed.
+class Point {
+ public:
+  Point(const std::vector<Axis>* axes, std::vector<std::size_t> indices,
+        std::size_t task_index, int replicate, std::uint64_t seed)
+      : axes_(axes),
+        indices_(std::move(indices)),
+        task_index_(task_index),
+        replicate_(replicate),
+        seed_(seed) {}
+
+  /// Flat task index in [0, Grid::size()).
+  [[nodiscard]] std::size_t task_index() const noexcept { return task_index_; }
+  /// Monte Carlo replicate in [0, Grid::replicates()).
+  [[nodiscard]] int replicate() const noexcept { return replicate_; }
+  /// SplitMix64-derived seed: stable under thread count and task order.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Value of the named axis at this point. Throws cisp::Error for an
+  /// unknown axis name.
+  [[nodiscard]] double value(std::string_view axis_name) const;
+  /// Index of this point along the named axis.
+  [[nodiscard]] std::size_t index(std::string_view axis_name) const;
+
+ private:
+  [[nodiscard]] std::size_t axis_position(std::string_view axis_name) const;
+
+  const std::vector<Axis>* axes_;
+  std::vector<std::size_t> indices_;  // one per axis
+  std::size_t task_index_;
+  int replicate_;
+  std::uint64_t seed_;
+};
+
+/// Cartesian product of axes, times `replicates` Monte Carlo repeats.
+/// Axis order is significant only for task numbering (first axis varies
+/// slowest); results are keyed by task_index so numbering is part of the
+/// determinism contract.
+class Grid {
+ public:
+  /// Adds a named axis. Name must be unique and non-empty; values must be
+  /// non-empty.
+  Grid& axis(std::string name, std::vector<double> values);
+  /// Convenience: an axis that only carries indices 0..n-1.
+  Grid& index_axis(std::string name, std::size_t n);
+  /// Number of Monte Carlo replicates per grid point (default 1).
+  Grid& replicates(int n);
+  /// Base seed mixed into every per-task seed (default 0).
+  Grid& base_seed(std::uint64_t seed);
+
+  [[nodiscard]] int replicate_count() const noexcept { return replicates_; }
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_seed_; }
+  [[nodiscard]] const std::vector<Axis>& axes() const noexcept { return axes_; }
+
+  /// Total task count: product of axis sizes × replicates.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Expands flat `task_index` into its Point (axis indices vary
+  /// fastest-to-slowest from the last axis; replicate varies fastest).
+  [[nodiscard]] Point point(std::size_t task_index) const;
+
+  /// The deterministic seed for a task: splitmix64 chain over
+  /// (base_seed, task_index).
+  [[nodiscard]] std::uint64_t task_seed(std::size_t task_index) const {
+    return hash_combine(splitmix64(base_seed_),
+                        static_cast<std::uint64_t>(task_index));
+  }
+
+ private:
+  std::vector<Axis> axes_;
+  int replicates_ = 1;
+  std::uint64_t base_seed_ = 0;
+};
+
+/// Options for run_sweep. threads = 0 means default_thread_count().
+struct SweepOptions {
+  std::size_t threads = 0;
+};
+
+/// Result of a sweep: per-task values in task-index order (never
+/// completion order), so equality across runs is meaningful.
+template <typename R>
+struct SweepResult {
+  std::vector<R> per_task;
+
+  [[nodiscard]] std::size_t size() const noexcept { return per_task.size(); }
+  [[nodiscard]] const R& at(std::size_t task_index) const {
+    return per_task.at(task_index);
+  }
+};
+
+/// Maps `fn(const Point&) -> R` over every task in the grid. Exceptions
+/// from tasks propagate to the caller (the first failing task in task-index
+/// order wins); remaining tasks still run to completion so the pool shuts
+/// down cleanly. R needs only move construction: tasks fill per-slot
+/// optionals (distinct objects, so no write ever shares storage — in
+/// particular R = bool does not alias through vector<bool> bit-packing)
+/// that collapse into the result vector after the join.
+template <typename Fn>
+auto run_sweep(const Grid& grid, Fn&& fn, const SweepOptions& options = {})
+    -> SweepResult<std::invoke_result_t<Fn&, const Point&>> {
+  using R = std::invoke_result_t<Fn&, const Point&>;
+  const std::size_t n = grid.size();
+  std::vector<std::optional<R>> slots(n);
+
+  Executor executor(options.threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(executor.submit([&grid, &fn, &slots, i] {
+      const Point point = grid.point(i);
+      slots[i].emplace(fn(point));
+    }));
+  }
+  // Harvest in task-index order: the first failure (by index, not by wall
+  // clock) is the one rethrown, which keeps error reporting deterministic
+  // too. Drain every future before rethrowing so no task outlives us.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  SweepResult<R> result;
+  result.per_task.reserve(n);
+  for (auto& slot : slots) result.per_task.push_back(std::move(*slot));
+  return result;
+}
+
+}  // namespace cisp::engine

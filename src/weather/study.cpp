@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "engine/collector.hpp"
+#include "engine/sweep.hpp"
 #include "util/rng.hpp"
 
 namespace cisp::weather {
+
+namespace {
+
+/// Scalar per-day outcome (pair stretches go into a SamplesBank).
+struct DayOutcome {
+  double down_fraction = 0.0;
+  bool any_outage = false;
+};
+
+}  // namespace
 
 StudyResult run_weather_study(const design::SiteProblem& problem,
                               const design::Topology& topology,
@@ -33,19 +45,26 @@ StudyResult run_weather_study(const design::SiteProblem& problem,
     built.push_back(by_pair[key]);
   }
 
-  // Per-pair stretch samples over the year.
-  std::vector<cisp::Samples> pair_samples(n * n);
-  Rng rng(params.seed);
-  double down_fraction_acc = 0.0;
-  StudyResult result;
+  // The 365 days are independent given their seeds, so they run as a
+  // parallel sweep: one task per day, each with a splitmix-derived seed, so
+  // the result is bit-identical for any thread count.
+  engine::Grid grid;
+  grid.index_axis("day", static_cast<std::size_t>(params.days))
+      .base_seed(params.seed);
+  const std::size_t num_pairs = n * (n - 1) / 2;
 
-  design::StretchEvaluator evaluator(input);
-  for (int day = 0; day < params.days; ++day) {
-    const double t =
-        static_cast<double>(day) * kDayS + rng.uniform() * (kDayS - 1800.0);
-    // Which built links are down in this interval?
+  // One contiguous row of pair stretches per day: tasks write only their
+  // own day's slot, so the collector needs no locks, and the cross-day
+  // merge below walks slots in day order.
+  engine::SlotCollector<std::vector<double>> pair_rows(grid.size());
+
+  auto run_day = [&](const engine::Point& point) {
+    Rng rng(point.seed());
+    const double day = point.value("day");
+    const double t = day * kDayS + rng.uniform() * (kDayS - 1800.0);
+    DayOutcome outcome;
+    design::StretchEvaluator evaluator(input);
     std::size_t down = 0;
-    evaluator.reset();
     for (std::size_t l = 0; l < built.size(); ++l) {
       const bool is_down =
           params.adaptive_bandwidth
@@ -58,28 +77,48 @@ StudyResult run_weather_study(const design::SiteProblem& problem,
         evaluator.add_link(topology.links[l]);
       }
     }
-    down_fraction_acc +=
+    outcome.down_fraction =
         built.empty() ? 0.0
-                      : static_cast<double>(down) / static_cast<double>(built.size());
-    if (down > 0) ++result.days_with_any_outage;
+                      : static_cast<double>(down) /
+                            static_cast<double>(built.size());
+    outcome.any_outage = down > 0;
+    auto& row = pair_rows.slot(point.task_index());
+    row.reserve(num_pairs);
     for (std::size_t s = 0; s < n; ++s) {
       for (std::size_t v = s + 1; v < n; ++v) {
-        pair_samples[s * n + v].add(evaluator.pair_stretch(s, v));
+        row.push_back(evaluator.pair_stretch(s, v));
       }
     }
+    return outcome;
+  };
+
+  engine::SweepOptions sweep_options;
+  sweep_options.threads = params.threads;
+  const auto days = engine::run_sweep(grid, run_day, sweep_options);
+
+  // Merge in day order (task-index order), never completion order.
+  StudyResult result;
+  double down_fraction_acc = 0.0;
+  for (const auto& outcome : days.per_task) {
+    down_fraction_acc += outcome.down_fraction;
+    if (outcome.any_outage) ++result.days_with_any_outage;
   }
   result.mean_links_down_fraction =
       down_fraction_acc / static_cast<double>(params.days);
 
-  // Fiber-only reference.
-  evaluator.reset();
+  design::StretchEvaluator fiber_only(input);
+  std::size_t pair = 0;
   for (std::size_t s = 0; s < n; ++s) {
     for (std::size_t v = s + 1; v < n; ++v) {
-      const auto& samples = pair_samples[s * n + v];
+      cisp::Samples samples;
+      for (std::size_t day = 0; day < pair_rows.size(); ++day) {
+        samples.add(pair_rows.slot(day)[pair]);
+      }
       result.best_stretch.add(samples.min());
       result.p99_stretch.add(samples.percentile(99));
       result.worst_stretch.add(samples.max());
-      result.fiber_stretch.add(evaluator.pair_stretch(s, v));
+      result.fiber_stretch.add(fiber_only.pair_stretch(s, v));
+      ++pair;
     }
   }
   return result;

@@ -13,6 +13,10 @@ namespace cisp::weather {
 struct StudyParams {
   std::uint64_t seed = 365;
   int days = 365;
+  /// Worker threads for the per-day parallel sweep (0 = all hardware
+  /// threads). Results are bit-identical for every value: each day draws
+  /// from its own splitmix-derived seed and days merge in day order.
+  std::size_t threads = 0;
   OutageModel outage;
   /// §6.1 extension: with adaptive modulation, a link whose capacity
   /// merely degrades (factor > 0) keeps carrying latency-sensitive traffic

@@ -1,0 +1,330 @@
+// Tests for the parallel experiment engine: executor task execution and
+// exception propagation, grid expansion and per-task seed determinism,
+// sweep bit-identity across thread counts, and order-independent
+// collector merging.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/collector.hpp"
+#include "engine/executor.hpp"
+#include "engine/experiment.hpp"
+#include "engine/sweep.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::engine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+TEST(Executor, RunsSubmittedTasksAndReturnsValues) {
+  Executor pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(Executor, ZeroMeansHardwareConcurrency) {
+  Executor pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.thread_count(), default_thread_count());
+}
+
+TEST(Executor, ExceptionPropagatesThroughFutureWithoutDeadlock) {
+  Executor pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task: later tasks still run.
+  EXPECT_EQ(good.get(), 7);
+  auto after = pool.submit([] { return 11; });
+  EXPECT_EQ(after.get(), 11);
+}
+
+TEST(Executor, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    Executor pool(1);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&ran] { ++ran; });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(ran.load(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Grid
+// ---------------------------------------------------------------------------
+
+TEST(Grid, SizeIsProductOfAxesTimesReplicates) {
+  Grid grid;
+  grid.axis("a", {1.0, 2.0, 3.0}).axis("b", {10.0, 20.0}).replicates(4);
+  EXPECT_EQ(grid.size(), 3u * 2u * 4u);
+}
+
+TEST(Grid, PointExpansionCoversEveryCombinationOnce) {
+  Grid grid;
+  grid.axis("a", {1.0, 2.0, 3.0}).axis("b", {10.0, 20.0}).replicates(2);
+  std::vector<int> seen(grid.size(), 0);
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    const Point p = grid.point(t);
+    EXPECT_EQ(p.task_index(), t);
+    const std::size_t key =
+        (p.index("a") * 2 + p.index("b")) * 2 +
+        static_cast<std::size_t>(p.replicate());
+    ++seen[key];
+    EXPECT_EQ(p.value("a"), grid.axes()[0].values[p.index("a")]);
+    EXPECT_EQ(p.value("b"), grid.axes()[1].values[p.index("b")]);
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Grid, RejectsBadAxes) {
+  Grid grid;
+  grid.axis("a", {1.0});
+  EXPECT_THROW(grid.axis("a", {2.0}), Error);   // duplicate name
+  EXPECT_THROW(grid.axis("", {2.0}), Error);    // empty name
+  EXPECT_THROW(grid.axis("b", {}), Error);      // empty values
+  EXPECT_THROW(grid.replicates(0), Error);
+  EXPECT_THROW(grid.point(grid.size()), Error); // out of range
+  EXPECT_THROW(grid.point(0).value("nope"), Error);
+}
+
+TEST(Grid, TaskSeedsAreStableAndDistinct) {
+  Grid a;
+  a.index_axis("i", 64).base_seed(42);
+  Grid b;
+  b.index_axis("i", 64).base_seed(42);
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.task_seed(t), b.task_seed(t));  // stable across instances
+    seeds.push_back(a.task_seed(t));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  Grid c;
+  c.index_axis("i", 64).base_seed(43);
+  EXPECT_NE(a.task_seed(0), c.task_seed(0));  // base seed matters
+}
+
+// ---------------------------------------------------------------------------
+// run_sweep
+// ---------------------------------------------------------------------------
+
+/// A stochastic task: result depends only on the per-task seed.
+double monte_carlo_task(const Point& point) {
+  Rng rng(point.seed());
+  double acc = point.value("x");
+  for (int i = 0; i < 1000; ++i) acc += rng.normal();
+  return acc;
+}
+
+TEST(Sweep, SameSeedDifferentThreadCountsBitIdentical) {
+  Grid grid;
+  grid.axis("x", {0.0, 1.0, 2.0, 3.0, 4.0}).replicates(8).base_seed(7);
+  const auto t1 = run_sweep(grid, monte_carlo_task, {.threads = 1});
+  const auto t2 = run_sweep(grid, monte_carlo_task, {.threads = 2});
+  const auto t8 = run_sweep(grid, monte_carlo_task, {.threads = 8});
+  EXPECT_EQ(t1.per_task, t2.per_task);
+  EXPECT_EQ(t1.per_task, t8.per_task);
+}
+
+TEST(Sweep, ReplicatesDiffer) {
+  Grid grid;
+  grid.axis("x", {0.0}).replicates(2).base_seed(7);
+  const auto result = run_sweep(grid, monte_carlo_task, {.threads = 2});
+  EXPECT_NE(result.at(0), result.at(1));  // distinct per-replicate seeds
+}
+
+TEST(Sweep, BoolResultsAreRaceFreeAndBitIdentical) {
+  // R = bool would race through std::vector<bool> bit-packing if results
+  // were written directly into the output vector; per-slot optionals keep
+  // every write on a distinct object.
+  Grid grid;
+  grid.index_axis("i", 257).base_seed(5);
+  const auto predicate = [](const Point& point) {
+    Rng rng(point.seed());
+    return rng.uniform() < 0.5;
+  };
+  const auto t1 = run_sweep(grid, predicate, {.threads = 1});
+  const auto t8 = run_sweep(grid, predicate, {.threads = 8});
+  EXPECT_EQ(t1.per_task, t8.per_task);
+}
+
+TEST(Sweep, ResultsNeedOnlyMoveConstruction) {
+  struct NoDefault {
+    explicit NoDefault(std::size_t v) : value(v) {}
+    std::size_t value;
+  };
+  Grid grid;
+  grid.index_axis("i", 16);
+  const auto result = run_sweep(
+      grid, [](const Point& point) { return NoDefault(point.task_index()); },
+      {.threads = 4});
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    EXPECT_EQ(result.at(t).value, t);
+  }
+}
+
+TEST(Sweep, ThrowingTaskPropagatesWithoutDeadlock) {
+  Grid grid;
+  grid.index_axis("i", 32);
+  std::atomic<int> completed{0};
+  const auto run = [&] {
+    (void)run_sweep(
+        grid,
+        [&](const Point& point) -> int {
+          if (point.task_index() == 5) throw Error("task 5 exploded");
+          ++completed;
+          return 0;
+        },
+        {.threads = 4});
+  };
+  EXPECT_THROW(run(), Error);
+  // Every non-throwing task still ran: the pool drained cleanly.
+  EXPECT_EQ(completed.load(), 31);
+}
+
+TEST(Sweep, FirstErrorByTaskIndexWins) {
+  Grid grid;
+  grid.index_axis("i", 16);
+  try {
+    (void)run_sweep(
+        grid,
+        [](const Point& point) -> int {
+          if (point.task_index() == 3) throw Error("three");
+          if (point.task_index() == 12) throw Error("twelve");
+          return 0;
+        },
+        {.threads = 8});
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("three"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collectors
+// ---------------------------------------------------------------------------
+
+TEST(Collector, MergeIsOrderIndependent) {
+  // Simulate two completion orders writing the same per-task shards.
+  SamplesCollector forward(10);
+  for (std::size_t t = 0; t < 10; ++t) {
+    forward.add(t, static_cast<double>(t));
+    forward.add(t, static_cast<double>(t) * 0.5);
+  }
+  SamplesCollector reverse(10);
+  for (std::size_t t = 10; t-- > 0;) {
+    reverse.add(t, static_cast<double>(t));
+    reverse.add(t, static_cast<double>(t) * 0.5);
+  }
+  EXPECT_EQ(forward.merged().values(), reverse.merged().values());
+  EXPECT_EQ(forward.merged_sum(), reverse.merged_sum());
+  EXPECT_EQ(forward.total_count(), 20u);
+}
+
+TEST(Collector, ConcurrentSlotWritesMergeDeterministically) {
+  const std::size_t tasks = 64;
+  Grid grid;
+  grid.index_axis("i", tasks).base_seed(3);
+  auto run_once = [&](std::size_t threads) {
+    SamplesCollector collector(tasks);
+    (void)run_sweep(
+        grid,
+        [&](const Point& point) {
+          Rng rng(point.seed());
+          for (int k = 0; k < 100; ++k) {
+            collector.add(point.task_index(), rng.uniform());
+          }
+          return 0;
+        },
+        {.threads = threads});
+    return collector.merged();
+  };
+  EXPECT_EQ(run_once(1).values(), run_once(8).values());
+}
+
+TEST(Collector, SamplesBankMergesPerSeries) {
+  SamplesBank bank(/*num_series=*/3, /*num_tasks=*/4);
+  for (std::size_t series = 0; series < 3; ++series) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      bank.add(series, t, static_cast<double>(series * 10 + t));
+    }
+  }
+  for (std::size_t series = 0; series < 3; ++series) {
+    const auto merged = bank.merged(series);
+    ASSERT_EQ(merged.count(), 4u);
+    EXPECT_EQ(merged.values().front(), static_cast<double>(series * 10));
+    EXPECT_EQ(merged.values().back(), static_cast<double>(series * 10 + 3));
+  }
+  EXPECT_THROW(bank.add(3, 0, 1.0), Error);
+  EXPECT_THROW(bank.merged(3), Error);
+}
+
+TEST(Collector, SlotCollectorFoldsInIndexOrder) {
+  SlotCollector<std::vector<int>> collector(3);
+  collector.slot(2).push_back(30);
+  collector.slot(0).push_back(10);
+  collector.slot(1).push_back(20);
+  const auto merged = collector.merge(
+      std::vector<int>{},
+      [](std::vector<int>& acc, const std::vector<int>& s) {
+        acc.insert(acc.end(), s.begin(), s.end());
+      });
+  EXPECT_EQ(merged, (std::vector<int>{10, 20, 30}));
+}
+
+// ---------------------------------------------------------------------------
+// Experiment registry
+// ---------------------------------------------------------------------------
+
+TEST(Experiments, RegistryRunsByNameAndLists) {
+  ExperimentRegistry registry;
+  int runs = 0;
+  registry.add("unit_exp_b", "second", [&](const ExperimentContext&) {});
+  registry.add("unit_exp_a", "first", [&](const ExperimentContext& ctx) {
+    EXPECT_EQ(ctx.threads, 2u);
+    EXPECT_TRUE(ctx.fast);
+    ++runs;
+  });
+  EXPECT_TRUE(registry.contains("unit_exp_a"));
+  EXPECT_FALSE(registry.contains("missing"));
+
+  ExperimentContext ctx;
+  ctx.threads = 2;
+  ctx.fast = true;
+  registry.run("unit_exp_a", ctx);
+  EXPECT_EQ(runs, 1);
+
+  const auto infos = registry.list();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].name, "unit_exp_a");  // sorted
+  EXPECT_EQ(infos[1].name, "unit_exp_b");
+
+  EXPECT_THROW(registry.run("missing", ctx), Error);
+  EXPECT_THROW(
+      registry.add("unit_exp_a", "dup", [](const ExperimentContext&) {}),
+      Error);
+}
+
+TEST(Experiments, BenchExperimentsSelfRegister) {
+  // The bench binaries register into the process-wide instance; within the
+  // test binary nothing is registered, but the instance must exist and be
+  // stable across calls.
+  EXPECT_EQ(&ExperimentRegistry::instance(), &ExperimentRegistry::instance());
+}
+
+}  // namespace
+}  // namespace cisp::engine

@@ -178,5 +178,36 @@ TEST(Study, ReducedYearStudyMatchesPaperShape) {
   EXPECT_LT(result.mean_links_down_fraction, 0.25);
 }
 
+TEST(Study, ResultBitIdenticalAcrossThreadCounts) {
+  design::ScenarioOptions options;
+  options.fast = true;
+  options.top_cities = 30;
+  const auto scenario = design::build_us_scenario(options);
+  const auto problem = design::city_city_problem(scenario, 400.0, 12);
+  const auto topo = design::solve_greedy(problem.input);
+  ASSERT_FALSE(topo.links.empty());
+
+  const RainField rain(scenario.region.box);
+  StudyParams params;
+  params.days = 40;
+  params.threads = 1;
+  const auto serial = run_weather_study(problem, topo,
+                                        scenario.tower_graph.towers, rain,
+                                        params);
+  params.threads = 4;
+  const auto parallel = run_weather_study(problem, topo,
+                                          scenario.tower_graph.towers, rain,
+                                          params);
+  // The per-day seeds and the day-ordered merge make the whole result
+  // bit-identical, not merely statistically equivalent.
+  EXPECT_EQ(serial.best_stretch.values(), parallel.best_stretch.values());
+  EXPECT_EQ(serial.p99_stretch.values(), parallel.p99_stretch.values());
+  EXPECT_EQ(serial.worst_stretch.values(), parallel.worst_stretch.values());
+  EXPECT_EQ(serial.fiber_stretch.values(), parallel.fiber_stretch.values());
+  EXPECT_EQ(serial.mean_links_down_fraction,
+            parallel.mean_links_down_fraction);
+  EXPECT_EQ(serial.days_with_any_outage, parallel.days_with_any_outage);
+}
+
 }  // namespace
 }  // namespace cisp::weather

@@ -5,16 +5,19 @@
 // higher-bandwidth technologies (MMW, free-space optics) cost-effective.
 // We build a dense tower line NYC -> Chicago, engineer it with each
 // technology's range/clearance profile, and provision 100 Gbps.
+//
+// Registered experiment: the per-technology link engineering runs through
+// engine::run_sweep over the technology axis (the shared tower-graph pass
+// happens once, up front).
 
 #include <cmath>
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("ablation_technology",
-                "§3.4 technology generality on a dense NYC-Chicago corridor");
+namespace {
+using namespace cisp;
 
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
   const geo::LatLon nyc{40.71, -74.01};
   const geo::LatLon chicago{41.88, -87.63};
   const double geodesic = geo::distance_km(nyc, chicago);
@@ -25,10 +28,10 @@ int main() {
   const terrain::RasterTerrain raster(
       region.make_terrain(),
       {.lat_min = 39.5, .lat_max = 43.0, .lon_min = -89.0, .lon_max = -73.0},
-      bench::fast_mode() ? 0.05 : 0.02);
+      ctx.fast ? 0.05 : 0.02);
   Rng rng(4242);
   std::vector<infra::Tower> towers;
-  const double spacing_km = 3.5;
+  const double spacing_km = ctx.params.real("spacing_km", 3.5);
   const auto steps = static_cast<std::size_t>(geodesic / spacing_km);
   for (std::size_t i = 0; i <= steps; ++i) {
     const auto on_path = geo::interpolate(
@@ -37,8 +40,10 @@ int main() {
                                       rng.uniform(0.0, 1.5));
     towers.push_back({pos, rng.uniform(60.0, 120.0)});
   }
-  std::cout << "corridor towers: " << towers.size() << " (spacing ~"
-            << spacing_km << " km)\n\n";
+
+  engine::ResultSet results;
+  results.note("corridor towers: " + std::to_string(towers.size()) +
+               " (spacing ~" + fmt(spacing_km, 1) + " km)");
 
   const std::vector<rf::TechnologyProfile> technologies = {
       rf::microwave(), rf::millimeter_wave(), rf::free_space_optics()};
@@ -48,55 +53,78 @@ int main() {
     hop.max_range_km = tech.max_range_km;
     hop.clearance.frequency_ghz = std::min(tech.frequency_ghz, 100.0);
     hop.clearance.fresnel_fraction = tech.fresnel_fraction;
-    hop.profile_step_km = bench::fast_mode() ? 1.0 : 0.5;
+    hop.profile_step_km = ctx.fast ? 1.0 : 0.5;
     hop_configs.push_back(hop);
   }
   const auto graphs =
       design::build_tower_graphs_multi(raster, towers, hop_configs);
 
-  const double target_gbps = 100.0;
+  const double target_gbps = ctx.params.real("target_gbps", 100.0);
   const design::CostModel cost_model;
-  Table table("NYC-Chicago 100 Gbps corridor by technology",
-              {"technology", "hop_km_max", "series_gbps", "path_km", "stretch",
-               "hops", "series_for_100G", "radio_installs", "5yr_cost_$M",
-               "outage_rain_mm_h"});
-  for (std::size_t i = 0; i < technologies.size(); ++i) {
-    const auto& tech = technologies[i];
-    const auto links = design::engineer_links(graphs[i], {nyc, chicago});
-    if (!links[0].feasible) {
-      table.add_row({tech.name, fmt(tech.max_range_km, 0),
-                     fmt(tech.series_gbps, 0), "infeasible", "-", "-", "-",
-                     "-", "-", "-"});
-      continue;
-    }
-    const auto& link = links[0];
-    const std::size_t hops = link.tower_path.size() - 1;
-    const int series = static_cast<int>(
-        std::ceil(std::sqrt(target_gbps / tech.series_gbps) - 1e-9));
-    const std::size_t installs = hops * static_cast<std::size_t>(series);
-    const double towers_rented =
-        static_cast<double>(link.tower_path.size()) * series;
-    const double cost_usd =
-        static_cast<double>(installs) * cost_model.hop_install_usd *
-            tech.install_cost_factor +
-        towers_rented * cost_model.tower_rent_usd_per_year *
-            cost_model.amortization_years;
-    // Representative hop at the engineered median length.
-    const double hop_len = link.mw_km / static_cast<double>(hops);
-    table.add_row({tech.name, fmt(tech.max_range_km, 0),
-                   fmt(tech.series_gbps, 0), fmt(link.mw_km, 0),
-                   fmt(link.mw_km / geodesic, 3), std::to_string(hops),
-                   std::to_string(series), std::to_string(installs),
-                   fmt(cost_usd / 1e6, 1),
-                   fmt(rf::outage_rain_rate_mm_h(hop_len, tech.budget), 0)});
-  }
-  table.print(std::cout);
-  table.maybe_write_csv("ablation_technology");
-  std::cout << "\nReading (paper §3.3/§3.4): microwave spans the corridor in "
-               "few hops but needs\n10 parallel series for 100 Gbps; MMW/FSO "
-               "need many more hops but far fewer\nseries, trading tower "
-               "count against radio count — and they die in much\nlighter "
-               "rain, which is why the paper keeps MW as the baseline "
-               "technology.\n";
-  return 0;
+
+  engine::Grid grid;
+  grid.index_axis("tech", technologies.size());
+  const auto sweep = engine::run_sweep(
+      grid,
+      [&](const engine::Point& point) -> std::vector<engine::Value> {
+        const std::size_t i = point.index("tech");
+        const auto& tech = technologies[i];
+        const auto links = design::engineer_links(graphs[i], {nyc, chicago});
+        if (!links[0].feasible) {
+          return {tech.name, engine::Value::real(tech.max_range_km, 0),
+                  engine::Value::real(tech.series_gbps, 0), "infeasible",
+                  "-", "-", "-", "-", "-", "-"};
+        }
+        const auto& link = links[0];
+        const std::size_t hops = link.tower_path.size() - 1;
+        const int series = static_cast<int>(
+            std::ceil(std::sqrt(target_gbps / tech.series_gbps) - 1e-9));
+        const std::size_t installs = hops * static_cast<std::size_t>(series);
+        const double towers_rented =
+            static_cast<double>(link.tower_path.size()) * series;
+        const double cost_usd =
+            static_cast<double>(installs) * cost_model.hop_install_usd *
+                tech.install_cost_factor +
+            towers_rented * cost_model.tower_rent_usd_per_year *
+                cost_model.amortization_years;
+        // Representative hop at the engineered median length.
+        const double hop_len = link.mw_km / static_cast<double>(hops);
+        return {tech.name,
+                engine::Value::real(tech.max_range_km, 0),
+                engine::Value::real(tech.series_gbps, 0),
+                engine::Value::real(link.mw_km, 0),
+                engine::Value::real(link.mw_km / geodesic, 3),
+                hops,
+                series,
+                installs,
+                engine::Value::real(cost_usd / 1e6, 1),
+                engine::Value::real(
+                    rf::outage_rain_rate_mm_h(hop_len, tech.budget), 0)};
+      },
+      {.threads = ctx.threads});
+
+  auto& table = results.add_table(
+      "ablation_technology", "NYC-Chicago 100 Gbps corridor by technology",
+      {"technology", "hop_km_max", "series_gbps", "path_km", "stretch",
+       "hops", "series_for_100G", "radio_installs", "5yr_cost_$M",
+       "outage_rain_mm_h"});
+  for (std::size_t t = 0; t < sweep.size(); ++t) table.row(sweep.at(t));
+
+  results.note(
+      "Reading (paper §3.3/§3.4): microwave spans the corridor in few hops "
+      "but needs\n10 parallel series for 100 Gbps; MMW/FSO need many more "
+      "hops but far fewer\nseries, trading tower count against radio count — "
+      "and they die in much\nlighter rain, which is why the paper keeps MW "
+      "as the baseline technology.");
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "ablation_technology",
+     .description = "§3.4 ablation: MW vs MMW vs FSO on a dense corridor",
+     .tags = {"ablation", "rf", "economics", "sweep"},
+     .params = {{"spacing_km", "3.5", "corridor tower spacing"},
+                {"target_gbps", "100", "throughput to provision"}}},
+    run};
+
+}  // namespace

@@ -1,64 +1,70 @@
 #pragma once
-// Shared plumbing for the per-figure benchmark binaries: scenario
-// construction with a CISP_FAST escape hatch (coarse substrates for quick
-// smoke runs), and uniform headers.
+// Shared plumbing for the experiment registration TUs in bench/ and
+// examples/: scenario construction honouring the run context's fast flag,
+// and fast-mode scaling helpers. Everything here is a pure function of the
+// ExperimentContext — no env vars, no printing; run knobs arrive through
+// the cisp_experiments driver's flags and parameter overrides.
 
-#include <cstdlib>
-#include <iostream>
+#include <sstream>
 #include <string>
 
 #include "cisp.hpp"
 
 namespace cisp::bench {
 
-/// True when the CISP_FAST env var asks for the coarse (smoke-test) mode.
-inline bool fast_mode() {
-  const char* v = std::getenv("CISP_FAST");
-  return v != nullptr && *v != '\0' && std::string(v) != "0";
-}
-
-/// Default US scenario for benches: full fidelity unless CISP_FAST is set.
-inline design::Scenario us_scenario(design::ScenarioOptions options = {}) {
-  options.fast = options.fast || fast_mode();
+/// Default US scenario: full fidelity unless the run context asks for the
+/// coarse (smoke-test) substrates.
+inline design::Scenario us_scenario(const engine::ExperimentContext& ctx,
+                                    design::ScenarioOptions options = {}) {
+  options.fast = options.fast || ctx.fast;
   if (options.fast && options.top_cities > 80) options.top_cities = 80;
   return design::build_us_scenario(options);
 }
 
-inline design::Scenario eu_scenario(design::ScenarioOptions options = {}) {
-  options.fast = options.fast || fast_mode();
+inline design::Scenario eu_scenario(const engine::ExperimentContext& ctx,
+                                    design::ScenarioOptions options = {}) {
+  options.fast = options.fast || ctx.fast;
   if (options.fast && options.top_cities > 80) options.top_cities = 80;
   return design::build_europe_scenario(options);
 }
 
 /// Scales a sweep count down in fast mode.
-inline int maybe_fast(int full, int fast) { return fast_mode() ? fast : full; }
-inline double maybe_fast(double full, double fast) {
-  return fast_mode() ? fast : full;
+inline int pick(const engine::ExperimentContext& ctx, int full, int fast) {
+  return ctx.fast ? fast : full;
+}
+inline double pick(const engine::ExperimentContext& ctx, double full,
+                   double fast) {
+  return ctx.fast ? fast : full;
+}
+inline std::size_t pick(const engine::ExperimentContext& ctx,
+                        std::size_t full, std::size_t fast) {
+  return ctx.fast ? fast : full;
 }
 
-/// Worker threads for engine sweeps: the CISP_THREADS env var, or 0 (= all
-/// hardware threads). Sweeps are bit-identical for every value; the knob
-/// exists for speedup measurements and for pinning CI runs.
-inline std::size_t thread_count() {
-  const char* v = std::getenv("CISP_THREADS");
-  if (v == nullptr || *v == '\0') return 0;
-  return static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
-}
-
-/// Context every bench experiment runs under (threads + fast mode).
-inline engine::ExperimentContext context() {
-  engine::ExperimentContext ctx;
-  ctx.threads = thread_count();
-  ctx.fast = fast_mode();
-  return ctx;
-}
-
-inline void banner(const std::string& title, const std::string& paper_ref) {
-  std::cout << "==============================================================\n"
-            << title << "\n"
-            << "Reproduces: " << paper_ref << "\n";
-  if (fast_mode()) std::cout << "[CISP_FAST smoke mode: coarse substrates]\n";
-  std::cout << "==============================================================\n";
+/// Renders an AsciiMap of the designed topology (population centers as
+/// 'o', built MW links as '*') into a note-ready string.
+inline std::string topology_map_note(const design::Scenario& scenario,
+                                     const design::SiteProblem& problem,
+                                     const design::Topology& topo,
+                                     std::size_t cols, std::size_t rows,
+                                     const std::string& heading) {
+  std::ostringstream os;
+  os << heading << '\n';
+  AsciiMap map(scenario.region.box.lat_min, scenario.region.box.lat_max,
+               scenario.region.box.lon_min, scenario.region.box.lon_max, cols,
+               rows);
+  for (const std::size_t l : topo.links) {
+    const auto& cand = problem.input.candidates()[l];
+    map.line(problem.sites[cand.site_a].lat_deg,
+             problem.sites[cand.site_a].lon_deg,
+             problem.sites[cand.site_b].lat_deg,
+             problem.sites[cand.site_b].lon_deg, '*');
+  }
+  for (const auto& site : problem.sites) {
+    map.plot(site.lat_deg, site.lon_deg, 'o');
+  }
+  map.print(os);
+  return os.str();
 }
 
 }  // namespace cisp::bench

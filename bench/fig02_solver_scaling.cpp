@@ -7,81 +7,117 @@
 //     with days of compute.
 // (b) On every instance the exact solver finishes, the heuristic's mean
 //     stretch matches the optimum to two decimal places.
+//
+// Registered experiment: the per-size solves are independent, so the size
+// axis runs through engine::run_sweep. (Wall-clock columns naturally vary
+// run to run; the solver outputs themselves are deterministic.)
 
 #include <chrono>
 
 #include "bench_common.hpp"
 
 namespace {
+using namespace cisp;
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
-}  // namespace
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig02_solver_scaling", "Fig. 2(a) runtime, Fig. 2(b) stretch");
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::us_scenario(ctx);
 
-  const auto scenario = bench::us_scenario();
-  std::cout << "towers=" << scenario.tower_graph.towers.size()
-            << " feasible_hops=" << scenario.tower_graph.feasible_hops
-            << " centers=" << scenario.centers.size() << "\n\n";
+  engine::ResultSet results;
+  results.note("towers=" + std::to_string(scenario.tower_graph.towers.size()) +
+               " feasible_hops=" +
+               std::to_string(scenario.tower_graph.feasible_hops) +
+               " centers=" + std::to_string(scenario.centers.size()));
 
-  Table table("Fig 2: heuristic vs exact ILP-equivalent solver",
-              {"cities", "budget", "heuristic_s", "heuristic_stretch",
-               "exact_s", "exact_stretch", "exact_status", "lp_rounding",
-               "lp_size"});
+  const double exact_time_limit =
+      ctx.params.real("exact_time_limit_s", bench::pick(ctx, 60.0, 10.0));
+  const auto max_exact_cities = static_cast<std::size_t>(
+      ctx.params.integer("max_exact_cities", bench::pick(ctx, 12, 8)));
 
-  const double exact_time_limit = bench::maybe_fast(60.0, 10.0);
-  const int max_exact_cities = bench::maybe_fast(12, 8);
-  std::vector<std::size_t> sizes = {5, 6, 8, 10, 12, 16, 24, 40, 60, 80, 120};
-  for (const std::size_t n : sizes) {
-    if (n > scenario.centers.size()) break;
-    // Budget proportional to city count (paper: 6,000 towers at 120).
-    const double budget = 50.0 * static_cast<double>(n);
-    const auto problem = design::city_city_problem(scenario, budget, n);
-
-    const auto t0 = Clock::now();
-    const auto heuristic = design::solve_cisp(problem.input);
-    const double heuristic_s = seconds_since(t0);
-
-    std::string exact_s = "-";
-    std::string exact_stretch = "-";
-    std::string status = "skipped (too large)";
-    if (n <= static_cast<std::size_t>(max_exact_cities)) {
-      design::ExactOptions options;
-      options.time_limit_s = exact_time_limit;
-      const auto t1 = Clock::now();
-      const auto exact = design::solve_exact(problem.input, options);
-      exact_s = fmt(seconds_since(t1), 2);
-      exact_stretch = fmt(exact.topology.mean_stretch, 4);
-      status = exact.proven_optimal ? "optimal" : "TIMEOUT";
-    }
-    // The paper's LP-relaxation + rounding baseline: worse than optimal
-    // and non-scalable (its tableau outgrows the solver quickly).
-    std::string lp_stretch = "-";
-    std::string lp_size = "-";
-    if (n <= 10) {
-      const auto lp = design::solve_lp_rounding(problem.input);
-      if (lp.solved) {
-        lp_stretch = fmt(lp.topology.mean_stretch, 4);
-        lp_size = std::to_string(lp.lp_variables) + "v/" +
-                  std::to_string(lp.lp_constraints) + "c";
-      } else {
-        lp_stretch = "failed";
-      }
-    }
-    table.add_row({std::to_string(n), fmt(budget, 0), fmt(heuristic_s, 2),
-                   fmt(heuristic.mean_stretch, 4), exact_s, exact_stretch,
-                   status, lp_stretch, lp_size});
+  std::vector<double> sizes;
+  for (const std::size_t n : {5u, 6u, 8u, 10u, 12u, 16u, 24u, 40u, 60u, 80u,
+                              120u}) {
+    if (n <= scenario.centers.size()) sizes.push_back(static_cast<double>(n));
   }
-  table.print(std::cout);
-  table.maybe_write_csv("fig02_solver_scaling");
-  std::cout << "\nPaper-shape checks: the exact solver's runtime explodes "
-               "with instance size\n(timing out where the heuristic takes "
-               "seconds), and wherever it completes, the\nheuristic matches "
-               "its stretch to ~2 decimals.\n";
-  return 0;
+
+  engine::Grid grid;
+  grid.axis("cities", sizes);
+  const auto sweep = engine::run_sweep(
+      grid,
+      [&](const engine::Point& point) -> std::vector<engine::Value> {
+        const auto n = static_cast<std::size_t>(point.value("cities"));
+        // Budget proportional to city count (paper: 6,000 towers at 120).
+        const double budget = 50.0 * static_cast<double>(n);
+        const auto problem = design::city_city_problem(scenario, budget, n);
+
+        const auto t0 = Clock::now();
+        const auto heuristic = design::solve_cisp(problem.input);
+        const double heuristic_s = seconds_since(t0);
+
+        engine::Value exact_s;
+        engine::Value exact_stretch;
+        engine::Value status = "skipped (too large)";
+        if (n <= max_exact_cities) {
+          design::ExactOptions options;
+          options.time_limit_s = exact_time_limit;
+          const auto t1 = Clock::now();
+          const auto exact = design::solve_exact(problem.input, options);
+          exact_s = engine::Value::real(seconds_since(t1), 2);
+          exact_stretch = engine::Value::real(exact.topology.mean_stretch, 4);
+          status = exact.proven_optimal ? "optimal" : "TIMEOUT";
+        }
+        // The paper's LP-relaxation + rounding baseline: worse than optimal
+        // and non-scalable (its tableau outgrows the solver quickly).
+        engine::Value lp_stretch;
+        engine::Value lp_size;
+        if (n <= 10) {
+          const auto lp = design::solve_lp_rounding(problem.input);
+          if (lp.solved) {
+            lp_stretch = engine::Value::real(lp.topology.mean_stretch, 4);
+            lp_size = std::to_string(lp.lp_variables) + "v/" +
+                      std::to_string(lp.lp_constraints) + "c";
+          } else {
+            lp_stretch = "failed";
+          }
+        }
+        return {engine::Value::integer(static_cast<std::int64_t>(n)),
+                engine::Value::real(budget, 0),
+                engine::Value::real(heuristic_s, 2),
+                engine::Value::real(heuristic.mean_stretch, 4),
+                exact_s,
+                exact_stretch,
+                status,
+                lp_stretch,
+                lp_size};
+      },
+      {.threads = ctx.threads});
+
+  auto& table = results.add_table(
+      "fig02_solver_scaling",
+      "Fig 2: heuristic vs exact ILP-equivalent solver",
+      {"cities", "budget", "heuristic_s", "heuristic_stretch", "exact_s",
+       "exact_stretch", "exact_status", "lp_rounding", "lp_size"});
+  for (std::size_t t = 0; t < sweep.size(); ++t) table.row(sweep.at(t));
+
+  results.note(
+      "Paper-shape checks: the exact solver's runtime explodes with instance "
+      "size\n(timing out where the heuristic takes seconds), and wherever it "
+      "completes, the\nheuristic matches its stretch to ~2 decimals.");
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig02_solver_scaling",
+     .description = "Fig. 2: heuristic vs exact solver runtime and stretch",
+     .tags = {"bench", "design", "solver", "sweep"},
+     .params = {{"exact_time_limit_s", "60 (10 in fast mode)",
+                 "branch-and-bound time limit per instance"},
+                {"max_exact_cities", "12 (8 in fast mode)",
+                 "largest instance handed to the exact solver"}}},
+    run};
+
+}  // namespace

@@ -7,38 +7,42 @@
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig03_us_network", "Fig. 3 topology + §4 Step 3 numbers");
+namespace {
+using namespace cisp;
 
-  const auto scenario = bench::us_scenario();
-  const double budget = 3000.0;
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::us_scenario(ctx);
+  const double budget = ctx.params.real("budget", 3000.0);
   const auto problem = design::city_city_problem(scenario, budget);
-  std::cout << "centers=" << problem.sites.size()
-            << " candidates=" << problem.input.candidates().size()
-            << " towers=" << scenario.tower_graph.towers.size()
-            << " feasible_hops=" << scenario.tower_graph.feasible_hops
-            << "\n\n";
+
+  engine::ResultSet results;
+  results.note("centers=" + std::to_string(problem.sites.size()) +
+               " candidates=" + std::to_string(problem.input.candidates().size()) +
+               " towers=" + std::to_string(scenario.tower_graph.towers.size()) +
+               " feasible_hops=" +
+               std::to_string(scenario.tower_graph.feasible_hops));
 
   const auto fiber_only = design::StretchEvaluator::evaluate(problem.input, {});
   const auto topo = design::solve_greedy(problem.input);
 
   design::CapacityParams cap;
-  cap.aggregate_gbps = 100.0;
+  cap.aggregate_gbps = ctx.params.real("aggregate_gbps", 100.0);
   const auto plan = design::plan_capacity(problem.input, topo, problem.links,
                                           scenario.tower_graph.towers, cap);
   const auto cost = design::cost_of(plan);
 
-  Table summary("Fig 3 / §4: US cISP design summary (paper values in [])",
-                {"metric", "measured", "paper"});
-  summary.add_row({"mean stretch (fiber only)", fmt(fiber_only.mean_stretch, 3),
-                   "1.93"});
-  summary.add_row({"mean stretch (cISP)", fmt(topo.mean_stretch, 3), "1.05"});
-  summary.add_row({"budget (towers)", fmt(budget, 0), "3000"});
-  summary.add_row({"towers used", fmt(topo.cost_towers, 0), "<=3000"});
-  summary.add_row({"MW links built", std::to_string(topo.links.size()), "~200"});
-  summary.add_row({"tower-tower hops", std::to_string(plan.base_hops),
-                   "2298 (1660+552+86)"});
+  auto& summary = results.add_table(
+      "fig03_summary", "Fig 3 / §4: US cISP design summary (paper values in [])",
+      {"metric", "measured", "paper"});
+  summary.row({"mean stretch (fiber only)",
+               engine::Value::real(fiber_only.mean_stretch, 3), "1.93"});
+  summary.row({"mean stretch (cISP)", engine::Value::real(topo.mean_stretch, 3),
+               "1.05"});
+  summary.row({"budget (towers)", engine::Value::real(budget, 0), "3000"});
+  summary.row({"towers used", engine::Value::real(topo.cost_towers, 0),
+               "<=3000"});
+  summary.row({"MW links built", topo.links.size(), "~200"});
+  summary.row({"tower-tower hops", plan.base_hops, "2298 (1660+552+86)"});
   const auto hops_extra = [&](int extra) {
     const auto it = plan.hops_by_extra.find(extra);
     return it == plan.hops_by_extra.end() ? std::size_t{0} : it->second;
@@ -47,24 +51,21 @@ int main() {
   for (const auto& [extra, count] : plan.hops_by_extra) {
     if (extra >= 3) three_plus += count;
   }
-  summary.add_row({"hops needing +0 towers/end",
-                   std::to_string(hops_extra(0)), "1660"});
-  summary.add_row({"hops needing +1 tower/end",
-                   std::to_string(hops_extra(1)), "552"});
-  summary.add_row({"hops needing +2 towers/end",
-                   std::to_string(hops_extra(2)), "86"});
-  summary.add_row({"hops needing +3 or more", std::to_string(three_plus), "0"});
-  summary.add_row({"new towers built", std::to_string(plan.new_towers), "-"});
-  summary.add_row({"demand carried on MW (Gbps)",
-                   fmt(plan.routed_on_mw_gbps, 1), "~100"});
-  summary.add_row({"cost per GB", fmt_money(cost.usd_per_gb), "$0.81"});
-  summary.add_row({"5-yr total cost ($M)", fmt(cost.total_usd / 1e6, 0), "-"});
-  summary.print(std::cout);
-  summary.maybe_write_csv("fig03_summary");
+  summary.row({"hops needing +0 towers/end", hops_extra(0), "1660"});
+  summary.row({"hops needing +1 tower/end", hops_extra(1), "552"});
+  summary.row({"hops needing +2 towers/end", hops_extra(2), "86"});
+  summary.row({"hops needing +3 or more", three_plus, "0"});
+  summary.row({"new towers built", plan.new_towers, "-"});
+  summary.row({"demand carried on MW (Gbps)",
+               engine::Value::real(plan.routed_on_mw_gbps, 1), "~100"});
+  summary.row({"cost per GB", engine::Value::money(cost.usd_per_gb), "$0.81"});
+  summary.row({"5-yr total cost ($M)",
+               engine::Value::real(cost.total_usd / 1e6, 0), "-"});
 
   // Per-link map data (the Fig. 3 picture): endpoints, length, series.
-  Table links("Fig 3: built MW links (top 15 by traffic)",
-              {"from", "to", "mw_km", "stretch", "demand_gbps", "series"});
+  auto& links = results.add_table(
+      "fig03_links", "Fig 3: built MW links (top 15 by traffic)",
+      {"from", "to", "mw_km", "stretch", "demand_gbps", "series"});
   auto sorted = plan.links;
   std::sort(sorted.begin(), sorted.end(),
             [](const auto& a, const auto& b) {
@@ -73,33 +74,32 @@ int main() {
   for (std::size_t i = 0; i < std::min<std::size_t>(15, sorted.size()); ++i) {
     const auto& link = sorted[i];
     const auto& cand = problem.input.candidates()[link.candidate_index];
-    links.add_row({problem.names[link.site_a], problem.names[link.site_b],
-                   fmt(cand.mw_km, 0),
-                   fmt(cand.mw_km / problem.input.geodesic_km(link.site_a,
-                                                              link.site_b),
-                       3),
-                   fmt(link.demand_gbps, 2), std::to_string(link.series)});
+    links.row({problem.names[link.site_a], problem.names[link.site_b],
+               engine::Value::real(cand.mw_km, 0),
+               engine::Value::real(
+                   cand.mw_km /
+                       problem.input.geodesic_km(link.site_a, link.site_b),
+                   3),
+               engine::Value::real(link.demand_gbps, 2),
+               static_cast<std::int64_t>(link.series)});
   }
-  links.print(std::cout);
-  links.maybe_write_csv("fig03_links");
 
   // The Fig. 3 picture: population centers and built MW links. Fiber
   // paths (the dashed black links of the figure) are implicit wherever no
   // MW link was built.
-  std::cout << "\nFig 3 map: o = population center, * = MW link\n";
-  AsciiMap map(scenario.region.box.lat_min, scenario.region.box.lat_max,
-               scenario.region.box.lon_min, scenario.region.box.lon_max, 110,
-               32);
-  for (const std::size_t l : topo.links) {
-    const auto& cand = problem.input.candidates()[l];
-    map.line(problem.sites[cand.site_a].lat_deg,
-             problem.sites[cand.site_a].lon_deg,
-             problem.sites[cand.site_b].lat_deg,
-             problem.sites[cand.site_b].lon_deg, '*');
-  }
-  for (const auto& site : problem.sites) {
-    map.plot(site.lat_deg, site.lon_deg, 'o');
-  }
-  map.print(std::cout);
-  return 0;
+  results.note(bench::topology_map_note(
+      scenario, problem, topo, 110, 32,
+      "Fig 3 map: o = population center, * = MW link"));
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig03_us_network",
+     .description = "Fig. 3 / §4: flagship US network design summary",
+     .tags = {"bench", "design", "capacity"},
+     .params = {{"budget", "3000", "tower budget for the design"},
+                {"aggregate_gbps", "100",
+                 "aggregate throughput the capacity plan provisions"}}},
+    run};
+
+}  // namespace

@@ -2,18 +2,17 @@
 // hop ranges of 70 and 100 km (the two curves converge, which is why the
 // paper continues with 100 km only).
 //
-// Runs as an engine experiment: the budget x hop-range grid expands into
+// Registered experiment: the budget x hop-range grid expands into
 // independent design solves that execute on the sweep thread pool; rows
-// are assembled from task-indexed results, so output is identical for any
-// CISP_THREADS value.
+// are assembled from task-indexed results, so the ResultSet is identical
+// for any --threads value.
 
 #include "bench_common.hpp"
 
 namespace {
+using namespace cisp;
 
-void run(const cisp::engine::ExperimentContext& ctx) {
-  using namespace cisp;
-
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
   design::ScenarioOptions options;
   options.fast = ctx.fast;
   if (options.fast) options.top_cities = 80;
@@ -27,7 +26,8 @@ void run(const cisp::engine::ExperimentContext& ctx) {
   design::Scenario scenario70 = scenario100;
   scenario70.tower_graph = graphs[1];
 
-  const std::size_t centers = ctx.fast ? 40 : 0;
+  const auto centers = static_cast<std::size_t>(
+      ctx.params.integer("centers", ctx.fast ? 40 : 0));
   const std::vector<double> budgets = {250.0,  500.0,  1000.0, 2000.0,
                                        3000.0, 4000.0, 6000.0, 8000.0};
 
@@ -44,27 +44,28 @@ void run(const cisp::engine::ExperimentContext& ctx) {
       },
       {.threads = ctx.threads});
 
-  Table table("Fig 4(a): mean stretch vs budget (towers)",
-              {"budget", "stretch_100km", "stretch_70km"});
+  engine::ResultSet results;
+  auto& table = results.add_table(
+      "fig04a_budget_sweep", "Fig 4(a): mean stretch vs budget (towers)",
+      {"budget", "stretch_100km", "stretch_70km"});
   for (std::size_t b = 0; b < budgets.size(); ++b) {
-    table.add_row({fmt(budgets[b], 0), fmt(sweep.at(b * 2 + 0), 3),
-                   fmt(sweep.at(b * 2 + 1), 3)});
+    table.row({engine::Value::real(budgets[b], 0),
+               engine::Value::real(sweep.at(b * 2 + 0), 3),
+               engine::Value::real(sweep.at(b * 2 + 1), 3)});
   }
-  table.print(std::cout);
-  table.maybe_write_csv("fig04a_budget_sweep");
-  std::cout << "\nPaper shape: stretch decreases monotonically with budget "
-               "from the fiber-only\n~1.9x toward ~1.05x; 70 km and 100 km "
-               "ranges track each other closely.\n";
+  results.note(
+      "Paper shape: stretch decreases monotonically with budget from the "
+      "fiber-only\n~1.9x toward ~1.05x; 70 km and 100 km ranges track each "
+      "other closely.");
+  return results;
 }
 
-const cisp::engine::RegisterExperiment kRegistration{
-    "fig04a_budget_sweep", "Fig. 4(a): mean stretch vs tower budget", run};
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig04a_budget_sweep",
+     .description = "Fig. 4(a): mean stretch vs tower budget",
+     .tags = {"bench", "design", "sweep"},
+     .params = {{"centers", "0 (40 in fast mode)",
+                 "population centers in the design problem (0 = all)"}}},
+    run};
 
 }  // namespace
-
-int main() {
-  cisp::bench::banner("fig04a_budget_sweep", "Fig. 4(a) stretch vs budget");
-  cisp::engine::ExperimentRegistry::instance().run("fig04a_budget_sweep",
-                                                   cisp::bench::context());
-  return 0;
-}

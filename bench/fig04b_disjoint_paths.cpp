@@ -5,18 +5,18 @@
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig04b_disjoint_paths",
-                "Fig. 4(b) tower-disjoint MW paths, IL-CA");
+namespace {
+using namespace cisp;
 
-  const auto scenario = bench::us_scenario();
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::us_scenario(ctx);
   // The paper's link runs ~2,700 km from Illinois to California.
   const geo::LatLon chicago{41.88, -87.63};
   const geo::LatLon los_angeles{34.05, -118.24};
   const double geodesic = geo::distance_km(chicago, los_angeles);
 
-  const std::size_t iterations = bench::maybe_fast(20, 8);
+  const auto iterations = static_cast<std::size_t>(
+      ctx.params.integer("iterations", bench::pick(ctx, 20, 8)));
   const auto lengths = design::tower_disjoint_path_lengths(
       scenario.tower_graph, chicago, los_angeles, iterations);
 
@@ -32,19 +32,29 @@ int main() {
       problem.input.fiber_effective_km(chi, la) /
       problem.input.geodesic_km(chi, la);
 
-  Table table("Fig 4(b): stretch of k-th tower-disjoint MW path",
-              {"iteration", "path_km", "stretch_over_geodesic"});
+  engine::ResultSet results;
+  auto& table = results.add_table(
+      "fig04b_disjoint_paths", "Fig 4(b): stretch of k-th tower-disjoint MW path",
+      {"iteration", "path_km", "stretch_over_geodesic"});
   for (std::size_t i = 0; i < lengths.size(); ++i) {
-    table.add_row({std::to_string(i + 1), fmt(lengths[i], 0),
-                   fmt(lengths[i] / geodesic, 3)});
+    table.row({i + 1, engine::Value::real(lengths[i], 0),
+               engine::Value::real(lengths[i] / geodesic, 3)});
   }
-  table.print(std::cout);
-  table.maybe_write_csv("fig04b_disjoint_paths");
-  std::cout << "\ngeodesic = " << fmt(geodesic, 0)
-            << " km; fiber latency stretch for the same pair = "
-            << fmt(fiber_stretch, 2)
-            << " (paper: 1.75)\nPaper shape: the first path is ~1.02x; "
+  results.note("geodesic = " + fmt(geodesic, 0) +
+               " km; fiber latency stretch for the same pair = " +
+               fmt(fiber_stretch, 2) +
+               " (paper: 1.75)\nPaper shape: the first path is ~1.02x; "
                "stretch grows slowly with disjointness\nand even the last "
-               "path beats fiber by a wide margin.\n";
-  return 0;
+               "path beats fiber by a wide margin.");
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig04b_disjoint_paths",
+     .description = "Fig. 4(b): tower-disjoint MW paths, IL-CA",
+     .tags = {"bench", "design", "resilience"},
+     .params = {{"iterations", "20 (8 in fast mode)",
+                 "rounds of disjoint-path removal"}}},
+    run};
+
+}  // namespace

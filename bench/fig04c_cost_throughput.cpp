@@ -1,35 +1,68 @@
 // Fig. 4(c): cost per GB vs aggregate throughput for the city-city traffic
 // model. Amortized infrastructure is shared across more bytes, so $/GB
 // falls with scale (paper: ~$0.81 at 100 Gbps, still falling at 1 Tbps).
+//
+// Registered experiment: the throughput axis runs through
+// engine::run_sweep — each capacity plan is independent.
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig04c_cost_throughput", "Fig. 4(c) $/GB vs throughput");
+namespace {
+using namespace cisp;
 
-  const auto scenario = bench::us_scenario();
-  const auto problem = design::city_city_problem(scenario, 3000.0);
+struct PlanRow {
+  double usd_per_gb = 0.0;
+  std::size_t new_towers = 0;
+  std::size_t installed_hop_series = 0;
+};
+
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::us_scenario(ctx);
+  const auto problem =
+      design::city_city_problem(scenario, ctx.params.real("budget", 3000.0));
   const auto topo = design::solve_greedy(problem.input);
 
-  Table table("Fig 4(c): cost per GB vs aggregate throughput (city-city)",
-              {"aggregate_gbps", "usd_per_gb", "new_towers",
-               "installed_hop_series"});
-  for (const double gbps :
-       {25.0, 50.0, 100.0, 200.0, 400.0, 600.0, 800.0, 1000.0}) {
-    design::CapacityParams cap;
-    cap.aggregate_gbps = gbps;
-    const auto plan = design::plan_capacity(
-        problem.input, topo, problem.links, scenario.tower_graph.towers, cap);
-    const auto cost = design::cost_of(plan);
-    table.add_row({fmt(gbps, 0), fmt(cost.usd_per_gb, 3),
-                   std::to_string(plan.new_towers),
-                   std::to_string(plan.installed_hop_series)});
+  const std::vector<double> throughputs = {25.0,  50.0,  100.0, 200.0,
+                                           400.0, 600.0, 800.0, 1000.0};
+  engine::Grid grid;
+  grid.axis("gbps", throughputs);
+  const auto sweep = engine::run_sweep(
+      grid,
+      [&](const engine::Point& point) {
+        design::CapacityParams cap;
+        cap.aggregate_gbps = point.value("gbps");
+        const auto plan =
+            design::plan_capacity(problem.input, topo, problem.links,
+                                  scenario.tower_graph.towers, cap);
+        const auto cost = design::cost_of(plan);
+        return PlanRow{cost.usd_per_gb, plan.new_towers,
+                       plan.installed_hop_series};
+      },
+      {.threads = ctx.threads});
+
+  engine::ResultSet results;
+  auto& table = results.add_table(
+      "fig04c_cost_throughput",
+      "Fig 4(c): cost per GB vs aggregate throughput (city-city)",
+      {"aggregate_gbps", "usd_per_gb", "new_towers", "installed_hop_series"});
+  for (std::size_t g = 0; g < throughputs.size(); ++g) {
+    const PlanRow& row = sweep.at(g);
+    table.row({engine::Value::real(throughputs[g], 0),
+               engine::Value::real(row.usd_per_gb, 3), row.new_towers,
+               row.installed_hop_series});
   }
-  table.print(std::cout);
-  table.maybe_write_csv("fig04c_cost_throughput");
-  std::cout << "\nPaper shape: $/GB decreases with throughput (infrastructure "
-               "amortizes); the\npaper reports $0.81 at 100 Gbps and a "
-               "continuing decline toward 1 Tbps.\n";
-  return 0;
+  results.note(
+      "Paper shape: $/GB decreases with throughput (infrastructure "
+      "amortizes); the\npaper reports $0.81 at 100 Gbps and a continuing "
+      "decline toward 1 Tbps.");
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig04c_cost_throughput",
+     .description = "Fig. 4(c): $/GB vs aggregate throughput",
+     .tags = {"bench", "capacity", "economics", "sweep"},
+     .params = {{"budget", "3000", "tower budget for the design"}}},
+    run};
+
+}  // namespace

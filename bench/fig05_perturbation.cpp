@@ -5,18 +5,19 @@
 // loss stays ~0 up to ~70% load even for large perturbations.
 //
 // The load x gamma grid runs as an engine sweep: every cell builds its own
-// simulator instance, so cells are independent and the table is identical
-// for any CISP_THREADS value.
+// simulator instance, so cells are independent and the ResultSet is
+// identical for any --threads value.
 
 #include "bench_common.hpp"
 
 namespace {
+using namespace cisp;
 
 /// Population-product traffic with per-center weight perturbation.
 std::vector<std::vector<double>> perturbed_traffic(
-    const std::vector<cisp::infra::PopulationCenter>& centers, double gamma,
+    const std::vector<infra::PopulationCenter>& centers, double gamma,
     std::uint64_t seed) {
-  cisp::Rng rng(seed);
+  Rng rng(seed);
   std::vector<double> weight(centers.size());
   for (std::size_t i = 0; i < centers.size(); ++i) {
     weight[i] = static_cast<double>(centers[i].population) *
@@ -44,28 +45,28 @@ struct Cell {
   double loss_pct = 0.0;
 };
 
-void run(const cisp::engine::ExperimentContext& ctx) {
-  using namespace cisp;
-
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
   design::ScenarioOptions options;
   const std::size_t max_centers = ctx.fast ? 30 : 60;
-  const auto scenario = bench::us_scenario(options);
+  const auto scenario = bench::us_scenario(ctx, options);
   const auto problem = design::city_city_problem(scenario, 3000.0, max_centers);
   const auto topo = design::solve_greedy(problem.input);
   design::CapacityParams cap;
   cap.aggregate_gbps = 100.0;
   const auto plan = design::plan_capacity(problem.input, topo, problem.links,
                                           scenario.tower_graph.towers, cap);
-  std::cout << "sim nodes=" << problem.sites.size()
-            << " mw_links=" << plan.links.size()
-            << " design stretch=" << fmt(topo.mean_stretch, 3) << "\n\n";
+
+  engine::ResultSet results;
+  results.note("sim nodes=" + std::to_string(problem.sites.size()) +
+               " mw_links=" + std::to_string(plan.links.size()) +
+               " design stretch=" + fmt(topo.mean_stretch, 3));
 
   net::BuildOptions build;
   build.mw_queue_packets = 100;
   build.rate_scale = ctx.fast ? 0.02 : 0.05;
   const double sim_s = ctx.fast ? 0.15 : 0.4;
 
-  std::vector<cisp::infra::PopulationCenter> centers = scenario.centers;
+  std::vector<infra::PopulationCenter> centers = scenario.centers;
   if (centers.size() > max_centers) centers.resize(max_centers);
 
   std::vector<double> loads;
@@ -102,45 +103,36 @@ void run(const cisp::engine::ExperimentContext& ctx) {
       },
       {.threads = ctx.threads});
 
-  Table delay_table("Fig 5 (left): mean one-way delay (ms) vs load",
-                    {"load_%", "matching_TM", "gamma_0.1", "gamma_0.3",
-                     "gamma_0.5"});
-  Table loss_table("Fig 5 (right): loss rate (%) vs load",
-                   {"load_%", "matching_TM", "gamma_0.1", "gamma_0.3",
-                    "gamma_0.5"});
+  auto& delay_table = results.add_table(
+      "fig05_delay", "Fig 5 (left): mean one-way delay (ms) vs load",
+      {"load_%", "matching_TM", "gamma_0.1", "gamma_0.3", "gamma_0.5"});
+  auto& loss_table = results.add_table(
+      "fig05_loss", "Fig 5 (right): loss rate (%) vs load",
+      {"load_%", "matching_TM", "gamma_0.1", "gamma_0.3", "gamma_0.5"});
   for (std::size_t l = 0; l < loads.size(); ++l) {
-    std::vector<std::string> delay_row = {
-        std::to_string(static_cast<int>(loads[l]))};
-    std::vector<std::string> loss_row = delay_row;
+    std::vector<engine::Value> delay_row = {static_cast<int>(loads[l])};
+    std::vector<engine::Value> loss_row = delay_row;
     for (std::size_t g = 0; g < gammas.size(); ++g) {
       const Cell& cell = sweep.at(l * gammas.size() + g);
-      delay_row.push_back(fmt(cell.delay_ms, 3));
-      loss_row.push_back(fmt(cell.loss_pct, 3));
+      delay_row.push_back(engine::Value::real(cell.delay_ms, 3));
+      loss_row.push_back(engine::Value::real(cell.loss_pct, 3));
     }
-    delay_table.add_row(delay_row);
-    loss_table.add_row(loss_row);
+    delay_table.row(delay_row);
+    loss_table.row(loss_row);
   }
-  delay_table.print(std::cout);
-  loss_table.print(std::cout);
-  delay_table.maybe_write_csv("fig05_delay");
-  loss_table.maybe_write_csv("fig05_loss");
-  std::cout << "\nPaper shape: delay moves by well under a millisecond and "
-               "loss stays ~0 until\nthe load approaches the provisioned "
-               "capacity; loss then rises. Our k^2\nprovisioning leaves "
-               "slightly more headroom than the paper's, so the onset\nsits "
-               "near/above 100% rather than the paper's ~70-85%.\n";
+  results.note(
+      "Paper shape: delay moves by well under a millisecond and loss stays "
+      "~0 until\nthe load approaches the provisioned capacity; loss then "
+      "rises. Our k^2\nprovisioning leaves slightly more headroom than the "
+      "paper's, so the onset\nsits near/above 100% rather than the paper's "
+      "~70-85%.");
+  return results;
 }
 
-const cisp::engine::RegisterExperiment kRegistration{
-    "fig05_perturbation",
-    "Fig. 5: delay/loss vs load under traffic perturbation", run};
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig05_perturbation",
+     .description = "Fig. 5: delay/loss vs load under traffic perturbation",
+     .tags = {"bench", "simulation", "sweep"}},
+    run};
 
 }  // namespace
-
-int main() {
-  cisp::bench::banner("fig05_perturbation",
-                      "Fig. 5 delay/loss vs load under traffic perturbation");
-  cisp::engine::ExperimentRegistry::instance().run("fig05_perturbation",
-                                                   cisp::bench::context());
-  return 0;
-}

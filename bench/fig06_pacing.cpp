@@ -3,125 +3,148 @@
 // a 100 Mbps link M->D. Source links are either 100 Mbps (control) or
 // 10 Gbps (speed mismatch), with and without TCP pacing. Pacing removes
 // the persistent queue at M without hurting flow completion times.
+//
+// Registered experiment: the config x Monte-Carlo-run grid executes
+// through engine::run_sweep — each run builds its own simulator, seeded by
+// its replicate index, and per-config statistics merge in task order.
 
 #include <memory>
 
 #include "bench_common.hpp"
 
 namespace {
+using namespace cisp;
 
-struct RunResult {
-  double queue_median = 0.0;
-  double queue_p95 = 0.0;
-  double fct_median_ms = 0.0;
-  double fct_p95_ms = 0.0;
+struct Config {
+  const char* name;
+  double src_rate_bps;
+  bool pacing;
 };
 
-RunResult run_config(double src_rate_bps, bool pacing, int runs,
-                     double run_seconds) {
-  using namespace cisp;
-  Samples queue_medians;
-  Samples queue_p95s;
-  Samples fcts_ms;
-  for (int run = 0; run < runs; ++run) {
-    net::Simulator sim;
-    // Nodes: 0..9 sources, 10 = M, 11 = D.
-    net::Network net(sim, 12);
-    net::TcpRegistry registry;
-    std::vector<std::size_t> up_links;
-    for (std::uint32_t s = 0; s < 10; ++s) {
-      up_links.push_back(
-          net.add_duplex_link(s, 10, src_rate_bps, 0.005,
-                              net::Link::kUnboundedQueue));
-    }
-    const std::size_t bottleneck = net.add_duplex_link(
-        10, 11, 1e8, 0.005, net::Link::kUnboundedQueue);
-    for (std::uint32_t s = 0; s < 10; ++s) {
-      net.node(s).set_route(s, 11, &net.link(up_links[s]));
-      net.node(10).set_route(s, 11, &net.link(bottleneck));
-      net.node(11).set_route(11, s, &net.link(bottleneck + 1));
-      net.node(10).set_route(11, s, &net.link(up_links[s] + 1));
-      registry.install(net, s);
-    }
-    registry.install(net, 11);
+struct RunOnce {
+  bool has_queue = false;
+  double queue_median = 0.0;
+  double queue_p95 = 0.0;
+  std::vector<double> fct_ms;
+};
 
-    // Poisson flow arrivals at 70% of the 100 Mbps bottleneck:
-    // rate = 0.7 * 1e8 / (100 KB * 8) = ~87.5 flows/s across 10 sources.
-    const double flows_per_s = 0.7 * 1e8 / (100e3 * 8.0);
-    Rng rng(9000 + run);
-    std::vector<std::unique_ptr<net::TcpFlow>> flows;
-    net::TcpFlow::Params params;
-    params.pacing = pacing;
-    // Match the paper's ns-3-era TCP: conservative initial window (the
-    // library default is RFC 6928 IW10, which inflates queues for every
-    // config and masks the mismatch effect).
-    params.initial_cwnd = 4.0;
-    params.initial_ssthresh = 40.0;
-    double t = 0.0;
-    std::uint32_t flow_id = 1;
-    while (t < run_seconds) {
-      t += rng.exponential(flows_per_s);
-      if (t >= run_seconds) break;
-      const auto src = static_cast<std::uint32_t>(rng.uniform_index(10));
-      flows.push_back(std::make_unique<net::TcpFlow>(
-          net, registry, flow_id++, src, 11, 100000, params));
-      flows.back()->start(t);
-    }
-    sim.run_until(run_seconds + 5.0);
-    for (const auto& f : flows) {
-      if (f->complete()) fcts_ms.add(f->fct_s() * 1000.0);
-    }
-    const auto& queue = net.link(bottleneck).queue_samples();
-    if (!queue.empty()) {
-      queue_medians.add(queue.median());
-      queue_p95s.add(queue.percentile(95));
-    }
+RunOnce run_once(const Config& config, int run, double run_seconds) {
+  net::Simulator sim;
+  // Nodes: 0..9 sources, 10 = M, 11 = D.
+  net::Network net(sim, 12);
+  net::TcpRegistry registry;
+  std::vector<std::size_t> up_links;
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    up_links.push_back(
+        net.add_duplex_link(s, 10, config.src_rate_bps, 0.005,
+                            net::Link::kUnboundedQueue));
   }
-  RunResult out;
-  out.queue_median = queue_medians.mean();
-  out.queue_p95 = queue_p95s.mean();
-  out.fct_median_ms = fcts_ms.median();
-  out.fct_p95_ms = fcts_ms.percentile(95);
+  const std::size_t bottleneck = net.add_duplex_link(
+      10, 11, 1e8, 0.005, net::Link::kUnboundedQueue);
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    net.node(s).set_route(s, 11, &net.link(up_links[s]));
+    net.node(10).set_route(s, 11, &net.link(bottleneck));
+    net.node(11).set_route(11, s, &net.link(bottleneck + 1));
+    net.node(10).set_route(11, s, &net.link(up_links[s] + 1));
+    registry.install(net, s);
+  }
+  registry.install(net, 11);
+
+  // Poisson flow arrivals at 70% of the 100 Mbps bottleneck:
+  // rate = 0.7 * 1e8 / (100 KB * 8) = ~87.5 flows/s across 10 sources.
+  const double flows_per_s = 0.7 * 1e8 / (100e3 * 8.0);
+  Rng rng(9000 + run);
+  std::vector<std::unique_ptr<net::TcpFlow>> flows;
+  net::TcpFlow::Params params;
+  params.pacing = config.pacing;
+  // Match the paper's ns-3-era TCP: conservative initial window (the
+  // library default is RFC 6928 IW10, which inflates queues for every
+  // config and masks the mismatch effect).
+  params.initial_cwnd = 4.0;
+  params.initial_ssthresh = 40.0;
+  double t = 0.0;
+  std::uint32_t flow_id = 1;
+  while (t < run_seconds) {
+    t += rng.exponential(flows_per_s);
+    if (t >= run_seconds) break;
+    const auto src = static_cast<std::uint32_t>(rng.uniform_index(10));
+    flows.push_back(std::make_unique<net::TcpFlow>(
+        net, registry, flow_id++, src, 11, 100000, params));
+    flows.back()->start(t);
+  }
+  sim.run_until(run_seconds + 5.0);
+  RunOnce out;
+  for (const auto& f : flows) {
+    if (f->complete()) out.fct_ms.push_back(f->fct_s() * 1000.0);
+  }
+  const auto& queue = net.link(bottleneck).queue_samples();
+  if (!queue.empty()) {
+    out.has_queue = true;
+    out.queue_median = queue.median();
+    out.queue_p95 = queue.percentile(95);
+  }
   return out;
 }
 
-}  // namespace
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const int runs = ctx.params.integer("runs", bench::pick(ctx, 20, 4));
+  const double run_seconds = bench::pick(ctx, 5.0, 2.0);
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig06_pacing", "Fig. 6 queue occupancy and FCT vs pacing");
+  const std::vector<Config> configs = {{"100M ingress", 1e8, false},
+                                       {"10G no pacing", 1e10, false},
+                                       {"10G pacing", 1e10, true}};
 
-  const int runs = bench::maybe_fast(20, 4);
-  const double run_seconds = bench::maybe_fast(5.0, 2.0);
+  engine::Grid grid;
+  grid.index_axis("config", configs.size()).replicates(runs);
+  const auto sweep = engine::run_sweep(
+      grid,
+      [&](const engine::Point& point) {
+        return run_once(configs[point.index("config")], point.replicate(),
+                        run_seconds);
+      },
+      {.threads = ctx.threads});
 
-  const RunResult control = run_config(1e8, false, runs, run_seconds);
-  const RunResult mismatch = run_config(1e10, false, runs, run_seconds);
-  const RunResult paced = run_config(1e10, true, runs, run_seconds);
-
-  Table queue_table("Fig 6(a): queue at M (packets)",
-                    {"config", "median", "95th-ptile"});
-  queue_table.add_row({"100M ingress", fmt(control.queue_median, 1),
-                       fmt(control.queue_p95, 1)});
-  queue_table.add_row({"10G no pacing", fmt(mismatch.queue_median, 1),
-                       fmt(mismatch.queue_p95, 1)});
-  queue_table.add_row({"10G pacing", fmt(paced.queue_median, 1),
-                       fmt(paced.queue_p95, 1)});
-  queue_table.print(std::cout);
-
-  Table fct_table("Fig 6(b): flow completion time (ms)",
-                  {"config", "median", "95th-ptile"});
-  fct_table.add_row({"100M ingress", fmt(control.fct_median_ms, 1),
-                     fmt(control.fct_p95_ms, 1)});
-  fct_table.add_row({"10G no pacing", fmt(mismatch.fct_median_ms, 1),
-                     fmt(mismatch.fct_p95_ms, 1)});
-  fct_table.add_row({"10G pacing", fmt(paced.fct_median_ms, 1),
-                     fmt(paced.fct_p95_ms, 1)});
-  fct_table.print(std::cout);
-  queue_table.maybe_write_csv("fig06_queue");
-  fct_table.maybe_write_csv("fig06_fct");
-  std::cout << "\nPaper shape: the 10G-ingress queue (especially its 95th "
-               "percentile) is much\nlarger than the 100M control; pacing "
-               "restores near-control queueing while\nmedian FCTs stay "
-               "essentially unchanged across all three configs.\n";
-  return 0;
+  engine::ResultSet results;
+  auto& queue_table =
+      results.add_table("fig06_queue", "Fig 6(a): queue at M (packets)",
+                        {"config", "median", "95th-ptile"});
+  auto& fct_table =
+      results.add_table("fig06_fct", "Fig 6(b): flow completion time (ms)",
+                        {"config", "median", "95th-ptile"});
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    Samples queue_medians;
+    Samples queue_p95s;
+    Samples fcts_ms;
+    // Per-config merge in replicate (task-index) order.
+    for (int r = 0; r < runs; ++r) {
+      const RunOnce& once = sweep.at(c * static_cast<std::size_t>(runs) +
+                                     static_cast<std::size_t>(r));
+      if (once.has_queue) {
+        queue_medians.add(once.queue_median);
+        queue_p95s.add(once.queue_p95);
+      }
+      fcts_ms.add_all(once.fct_ms);
+    }
+    queue_table.row({configs[c].name,
+                     engine::Value::real(queue_medians.mean(), 1),
+                     engine::Value::real(queue_p95s.mean(), 1)});
+    fct_table.row({configs[c].name, engine::Value::real(fcts_ms.median(), 1),
+                   engine::Value::real(fcts_ms.percentile(95), 1)});
+  }
+  results.note(
+      "Paper shape: the 10G-ingress queue (especially its 95th percentile) "
+      "is much\nlarger than the 100M control; pacing restores near-control "
+      "queueing while\nmedian FCTs stay essentially unchanged across all "
+      "three configs.");
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig06_pacing",
+     .description = "Fig. 6: queue occupancy and FCT vs TCP pacing",
+     .tags = {"bench", "simulation", "tcp", "sweep"},
+     .params = {{"runs", "20 (4 in fast mode)",
+                 "Monte Carlo runs per configuration"}}},
+    run};
+
+}  // namespace

@@ -3,59 +3,84 @@
 // whose hops exceed their fade margins; traffic reroutes over surviving
 // MW + fiber. The paper finds 99th-percentile stretch ~= fair-weather
 // stretch, and median worst-case 1.7x better than fiber.
+//
+// Registered experiment: the day grid executes through engine::run_sweep
+// inside weather::run_weather_study (one task per day, per-day seeds), so
+// the year parallelizes while staying bit-identical across thread counts.
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig07_weather", "Fig. 7 weather-degraded stretch CDFs");
+namespace {
+using namespace cisp;
 
-  const auto scenario = bench::us_scenario();
-  const std::size_t centers = bench::maybe_fast(0, 30);
-  const auto problem = design::city_city_problem(scenario, 3000.0, centers);
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::us_scenario(ctx);
+  const auto centers = static_cast<std::size_t>(
+      ctx.params.integer("centers", bench::pick(ctx, 0, 30)));
+  const auto problem = design::city_city_problem(
+      scenario, ctx.params.real("budget", 3000.0), centers);
   const auto topo = design::solve_greedy(problem.input);
 
   const weather::RainField rain(scenario.region.box);
-  std::cout << "storm cells simulated over the year: " << rain.cell_count()
-            << "\n";
+  engine::ResultSet results;
+  results.note("storm cells simulated over the year: " +
+               std::to_string(rain.cell_count()));
+
   weather::StudyParams params;
-  params.days = bench::maybe_fast(365, 60);
+  params.days = ctx.params.integer("days", bench::pick(ctx, 365, 60));
+  params.threads = ctx.threads;
   const auto result = weather::run_weather_study(
       problem, topo, scenario.tower_graph.towers, rain, params);
 
-  Table cdf("Fig 7: CDF of stretch across city pairs",
-            {"percentile", "best", "99th_pctile_day", "worst_day", "fiber"});
+  auto& cdf = results.add_table(
+      "fig07_weather_cdf", "Fig 7: CDF of stretch across city pairs",
+      {"percentile", "best", "99th_pctile_day", "worst_day", "fiber"});
   for (const double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
-    cdf.add_row({fmt(p, 0), fmt(result.best_stretch.percentile(p), 3),
-                 fmt(result.p99_stretch.percentile(p), 3),
-                 fmt(result.worst_stretch.percentile(p), 3),
-                 fmt(result.fiber_stretch.percentile(p), 3)});
+    cdf.row({engine::Value::real(p, 0),
+             engine::Value::real(result.best_stretch.percentile(p), 3),
+             engine::Value::real(result.p99_stretch.percentile(p), 3),
+             engine::Value::real(result.worst_stretch.percentile(p), 3),
+             engine::Value::real(result.fiber_stretch.percentile(p), 3)});
   }
-  cdf.print(std::cout);
-  cdf.maybe_write_csv("fig07_weather_cdf");
 
-  Table summary("Fig 7 summary claims", {"metric", "measured", "paper"});
-  summary.add_row({"median best (fair weather)",
-                   fmt(result.best_stretch.median(), 3), "~1.05-1.2"});
-  summary.add_row({"median 99th-percentile day",
-                   fmt(result.p99_stretch.median(), 3),
-                   "~= best (nearly unchanged)"});
-  summary.add_row({"median worst day", fmt(result.worst_stretch.median(), 3),
-                   "1.7x better than fiber"});
-  summary.add_row({"median fiber", fmt(result.fiber_stretch.median(), 3),
-                   "~1.9-2.0"});
-  summary.add_row(
+  auto& summary = results.add_table("fig07_summary", "Fig 7 summary claims",
+                                    {"metric", "measured", "paper"});
+  summary.row({"median best (fair weather)",
+               engine::Value::real(result.best_stretch.median(), 3),
+               "~1.05-1.2"});
+  summary.row({"median 99th-percentile day",
+               engine::Value::real(result.p99_stretch.median(), 3),
+               "~= best (nearly unchanged)"});
+  summary.row({"median worst day",
+               engine::Value::real(result.worst_stretch.median(), 3),
+               "1.7x better than fiber"});
+  summary.row({"median fiber",
+               engine::Value::real(result.fiber_stretch.median(), 3),
+               "~1.9-2.0"});
+  summary.row(
       {"fiber/worst ratio (median)",
-       fmt(result.fiber_stretch.median() / result.worst_stretch.median(), 2),
+       engine::Value::real(
+           result.fiber_stretch.median() / result.worst_stretch.median(), 2),
        "1.7"});
-  summary.add_row({"mean fraction of links down",
-                   fmt(result.mean_links_down_fraction * 100.0, 2) + "%",
-                   "small"});
-  summary.add_row({"days with any outage",
-                   std::to_string(result.days_with_any_outage) + "/" +
-                       std::to_string(params.days),
-                   "-"});
-  summary.print(std::cout);
-  summary.maybe_write_csv("fig07_summary");
-  return 0;
+  summary.row({"mean fraction of links down",
+               fmt(result.mean_links_down_fraction * 100.0, 2) + "%",
+               "small"});
+  summary.row({"days with any outage",
+               std::to_string(result.days_with_any_outage) + "/" +
+                   std::to_string(params.days),
+               "-"});
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig07_weather",
+     .description = "Fig. 7: weather-degraded stretch CDFs over a year",
+     .tags = {"bench", "weather", "sweep"},
+     .params = {{"days", "365 (60 in fast mode)",
+                 "days simulated in the weather study"},
+                {"budget", "3000", "tower budget for the design"},
+                {"centers", "0 (30 in fast mode)",
+                 "population centers in the design problem (0 = all)"}}},
+    run};
+
+}  // namespace

@@ -4,58 +4,63 @@
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig08_europe", "Fig. 8 / §6.2 Europe instantiation");
+namespace {
+using namespace cisp;
 
-  const auto scenario = bench::eu_scenario();
-  const auto problem = design::city_city_problem(scenario, 3000.0);
-  std::cout << "EU centers=" << problem.sites.size()
-            << " towers=" << scenario.tower_graph.towers.size()
-            << " feasible_hops=" << scenario.tower_graph.feasible_hops
-            << "\n\n";
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::eu_scenario(ctx);
+  const auto problem =
+      design::city_city_problem(scenario, ctx.params.real("budget", 3000.0));
+
+  engine::ResultSet results;
+  results.note("EU centers=" + std::to_string(problem.sites.size()) +
+               " towers=" + std::to_string(scenario.tower_graph.towers.size()) +
+               " feasible_hops=" +
+               std::to_string(scenario.tower_graph.feasible_hops));
 
   const auto fiber_only = design::StretchEvaluator::evaluate(problem.input, {});
   const auto topo = design::solve_greedy(problem.input);
   design::CapacityParams cap;
-  cap.aggregate_gbps = 100.0;
+  cap.aggregate_gbps = ctx.params.real("aggregate_gbps", 100.0);
   const auto plan = design::plan_capacity(problem.input, topo, problem.links,
                                           scenario.tower_graph.towers, cap);
   const auto cost = design::cost_of(plan);
 
-  Table table("Fig 8 / §6.2: Europe vs paper", {"metric", "measured", "paper"});
-  table.add_row({"population centers", std::to_string(problem.sites.size()),
-                 "(cities >= 300k)"});
-  table.add_row({"mean stretch (fiber only)", fmt(fiber_only.mean_stretch, 3),
-                 "~1.9 (assumed as in US)"});
-  table.add_row({"mean stretch (cISP)", fmt(topo.mean_stretch, 3), "1.04"});
-  table.add_row({"towers used", fmt(topo.cost_towers, 0), "~3000"});
-  table.add_row({"MW links built", std::to_string(topo.links.size()), "-"});
-  table.add_row({"aggregate throughput (Gbps)", fmt(cap.aggregate_gbps, 0),
-                 "100"});
-  table.add_row({"cost per GB", fmt_money(cost.usd_per_gb),
-                 "similar to US ($0.81)"});
-  table.print(std::cout);
-  table.maybe_write_csv("fig08_europe");
+  auto& table = results.add_table("fig08_europe",
+                                  "Fig 8 / §6.2: Europe vs paper",
+                                  {"metric", "measured", "paper"});
+  table.row({"population centers", problem.sites.size(),
+             "(cities >= 300k)"});
+  table.row({"mean stretch (fiber only)",
+             engine::Value::real(fiber_only.mean_stretch, 3),
+             "~1.9 (assumed as in US)"});
+  table.row({"mean stretch (cISP)", engine::Value::real(topo.mean_stretch, 3),
+             "1.04"});
+  table.row({"towers used", engine::Value::real(topo.cost_towers, 0),
+             "~3000"});
+  table.row({"MW links built", topo.links.size(), "-"});
+  table.row({"aggregate throughput (Gbps)",
+             engine::Value::real(cap.aggregate_gbps, 0), "100"});
+  table.row({"cost per GB", engine::Value::money(cost.usd_per_gb),
+             "similar to US ($0.81)"});
 
-  std::cout << "\nFig 8 map: o = population center, * = MW link\n";
-  AsciiMap map(scenario.region.box.lat_min, scenario.region.box.lat_max,
-               scenario.region.box.lon_min, scenario.region.box.lon_max, 100,
-               34);
-  for (const std::size_t l : topo.links) {
-    const auto& cand = problem.input.candidates()[l];
-    map.line(problem.sites[cand.site_a].lat_deg,
-             problem.sites[cand.site_a].lon_deg,
-             problem.sites[cand.site_b].lat_deg,
-             problem.sites[cand.site_b].lon_deg, '*');
-  }
-  for (const auto& site : problem.sites) {
-    map.plot(site.lat_deg, site.lon_deg, 'o');
-  }
-  map.print(std::cout);
-
-  std::cout << "\nPaper claim: with the same aggregate capacity target and "
-               "budget scale, the EU\ndesign reaches the same stretch and "
-               "similar cost — the approach is not\nUS-specific.\n";
-  return 0;
+  results.note(bench::topology_map_note(
+      scenario, problem, topo, 100, 34,
+      "Fig 8 map: o = population center, * = MW link"));
+  results.note(
+      "Paper claim: with the same aggregate capacity target and budget "
+      "scale, the EU\ndesign reaches the same stretch and similar cost — the "
+      "approach is not\nUS-specific.");
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig08_europe",
+     .description = "Fig. 8 / §6.2: Europe instantiation",
+     .tags = {"bench", "design", "europe"},
+     .params = {{"budget", "3000", "tower budget for the design"},
+                {"aggregate_gbps", "100",
+                 "aggregate throughput the capacity plan provisions"}}},
+    run};
+
+}  // namespace

@@ -5,16 +5,15 @@
 //
 // Both stages run as engine sweeps: the three model designs solve in
 // parallel, then the model x throughput capacity grid fans out on the
-// pool. Output is identical for any CISP_THREADS value.
+// pool. The ResultSet is identical for any --threads value.
 
 #include "bench_common.hpp"
 
 namespace {
+using namespace cisp;
 
-void run(const cisp::engine::ExperimentContext& ctx) {
-  using namespace cisp;
-
-  const auto scenario = bench::us_scenario();
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::us_scenario(ctx);
   const std::size_t centers = ctx.fast ? 40 : 0;
 
   struct Model {
@@ -47,12 +46,15 @@ void run(const cisp::engine::ExperimentContext& ctx) {
       {.threads = ctx.threads});
   const auto& models = designs.per_task;
 
+  engine::ResultSet results;
+  auto& design_table = results.add_table(
+      "fig09_designs", "Fig 9: per-model designs",
+      {"model", "stretch", "towers", "links"});
   for (const auto& m : models) {
-    std::cout << m.name << ": stretch=" << fmt(m.topology.mean_stretch, 3)
-              << " towers=" << fmt(m.topology.cost_towers, 0)
-              << " links=" << m.topology.links.size() << "\n";
+    design_table.row({m.name, engine::Value::real(m.topology.mean_stretch, 3),
+                      engine::Value::real(m.topology.cost_towers, 0),
+                      m.topology.links.size()});
   }
-  std::cout << "\n";
 
   // Stage 2: capacity planning over throughput x model.
   const std::vector<double> throughputs = {10.0,  25.0,  50.0, 75.0,
@@ -72,30 +74,27 @@ void run(const cisp::engine::ExperimentContext& ctx) {
       },
       {.threads = ctx.threads});
 
-  Table table("Fig 9: cost per GB vs aggregate throughput",
-              {"aggregate_gbps", "City-City", "DC-DC", "City-DC"});
+  auto& table = results.add_table(
+      "fig09_traffic_models", "Fig 9: cost per GB vs aggregate throughput",
+      {"aggregate_gbps", "City-City", "DC-DC", "City-DC"});
   for (std::size_t g = 0; g < throughputs.size(); ++g) {
-    std::vector<std::string> row = {fmt(throughputs[g], 0)};
+    std::vector<engine::Value> row = {engine::Value::real(throughputs[g], 0)};
     for (std::size_t m = 0; m < models.size(); ++m) {
-      row.push_back(fmt(costs.at(g * models.size() + m), 3));
+      row.push_back(engine::Value::real(costs.at(g * models.size() + m), 3));
     }
-    table.add_row(row);
+    table.row(row);
   }
-  table.print(std::cout);
-  table.maybe_write_csv("fig09_traffic_models");
-  std::cout << "\nPaper shape: City-City is the most expensive at every "
-               "throughput; the DC-DC\nand City-DC scenarios are cheaper "
-               "(smaller footprints), and all curves fall\nwith scale.\n";
+  results.note(
+      "Paper shape: City-City is the most expensive at every throughput; "
+      "the DC-DC\nand City-DC scenarios are cheaper (smaller footprints), "
+      "and all curves fall\nwith scale.");
+  return results;
 }
 
-const cisp::engine::RegisterExperiment kRegistration{
-    "fig09_traffic_models", "Fig. 9: $/GB per traffic model", run};
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig09_traffic_models",
+     .description = "Fig. 9: $/GB per traffic model",
+     .tags = {"bench", "capacity", "economics", "sweep"}},
+    run};
 
 }  // namespace
-
-int main() {
-  cisp::bench::banner("fig09_traffic_models", "Fig. 9 $/GB per traffic model");
-  cisp::engine::ExperimentRegistry::instance().run("fig09_traffic_models",
-                                                   cisp::bench::context());
-  return 0;
-}

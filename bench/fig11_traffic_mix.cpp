@@ -2,16 +2,26 @@
 // for a city-city : city-DC : DC-DC blend of 4:3:3 is loaded with
 // deviating mixes (5:3:3, 4:3:4, 4:4:3). Mean delay moves by <0.05 ms and
 // loss stays ~0 up to ~70% of design capacity.
+//
+// Registered experiment: the load x mix grid executes through
+// engine::run_sweep — each cell builds its own simulator over the shared
+// 4:3:3 design, with per-mix traffic matrices precomputed once.
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig11_traffic_mix", "Fig. 11 delay/loss under mix deviation");
+namespace {
+using namespace cisp;
 
-  const auto scenario = bench::us_scenario();
-  const std::size_t centers = bench::maybe_fast(50, 25);
-  const double budget = 3000.0;
+struct Cell {
+  double delay_ms = 0.0;
+  double loss_pct = 0.0;
+};
+
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::us_scenario(ctx);
+  const auto centers = static_cast<std::size_t>(
+      ctx.params.integer("centers", bench::pick(ctx, 50, 25)));
+  const double budget = ctx.params.real("budget", 3000.0);
 
   // Design for 4:3:3.
   const auto designed =
@@ -21,13 +31,15 @@ int main() {
   cap.aggregate_gbps = 100.0;
   const auto plan = design::plan_capacity(designed.input, topo, designed.links,
                                           scenario.tower_graph.towers, cap);
-  std::cout << "design: stretch=" << fmt(topo.mean_stretch, 3)
-            << " mw_links=" << plan.links.size() << "\n\n";
+
+  engine::ResultSet results;
+  results.note("design: stretch=" + fmt(topo.mean_stretch, 3) +
+               " mw_links=" + std::to_string(plan.links.size()));
 
   net::BuildOptions build;
   build.mw_queue_packets = 100;
-  build.rate_scale = bench::maybe_fast(0.05, 0.02);
-  const double sim_s = bench::maybe_fast(0.4, 0.15);
+  build.rate_scale = bench::pick(ctx, 0.05, 0.02);
+  const double sim_s = bench::pick(ctx, 0.4, 0.15);
 
   struct Mix {
     const char* name;
@@ -37,45 +49,79 @@ int main() {
       {"4:3:3", 4, 3, 3}, {"4:4:3", 4, 4, 3}, {"5:3:3", 5, 3, 3},
       {"4:3:4", 4, 3, 4}};
 
-  Table delay_table("Fig 11 (left): mean one-way delay (ms) vs load",
-                    {"load_%", "4:3:3", "4:4:3", "5:3:3", "4:3:4"});
-  Table loss_table("Fig 11 (right): loss rate (%) vs load",
-                   {"load_%", "4:3:3", "4:4:3", "5:3:3", "4:3:4"});
-  for (int load = 10; load <= 130; load += 15) {
-    std::vector<std::string> delay_row = {std::to_string(load)};
-    std::vector<std::string> loss_row = {std::to_string(load)};
-    for (const auto& mix : mixes) {
-      // Traffic matrix for this mix over the SAME sites as the design.
-      const auto mixed = design::mixed_problem(scenario, budget, mix.cc,
-                                               mix.cd, mix.dd, centers);
-      std::vector<std::vector<double>> traffic(
-          designed.input.site_count(),
-          std::vector<double>(designed.input.site_count(), 0.0));
-      for (std::size_t i = 0; i < traffic.size(); ++i) {
-        for (std::size_t j = 0; j < traffic.size(); ++j) {
-          traffic[i][j] = mixed.input.traffic(i, j);
-        }
+  // Traffic matrix per mix over the SAME sites as the design, computed
+  // once outside the sweep (each one is a full problem construction).
+  std::vector<std::vector<std::vector<double>>> mix_traffic;
+  for (const auto& mix : mixes) {
+    const auto mixed = design::mixed_problem(scenario, budget, mix.cc, mix.cd,
+                                             mix.dd, centers);
+    std::vector<std::vector<double>> traffic(
+        designed.input.site_count(),
+        std::vector<double>(designed.input.site_count(), 0.0));
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+      for (std::size_t j = 0; j < traffic.size(); ++j) {
+        traffic[i][j] = mixed.input.traffic(i, j);
       }
-      auto instance = net::build_sim(designed.input, plan, build);
-      const auto demands = net::demands_from_traffic(
-          traffic, cap.aggregate_gbps * load / 100.0, build.rate_scale);
-      net::install_routes(*instance.network, instance.view, demands,
-                          net::RoutingScheme::ShortestPath);
-      const auto sources =
-          net::attach_udp_workload(instance, demands, 0.0, sim_s, 55);
-      instance.sim->run_until(sim_s + 0.2);
-      delay_row.push_back(fmt(instance.monitor.mean_delay_s() * 1000.0, 3));
-      loss_row.push_back(fmt(instance.monitor.loss_rate() * 100.0, 3));
     }
-    delay_table.add_row(delay_row);
-    loss_table.add_row(loss_row);
+    mix_traffic.push_back(std::move(traffic));
   }
-  delay_table.print(std::cout);
-  loss_table.print(std::cout);
-  delay_table.maybe_write_csv("fig11_delay");
-  loss_table.maybe_write_csv("fig11_loss");
-  std::cout << "\nPaper shape: across mixes the delay curves sit within a "
-               "few hundredths of a\nmillisecond of each other until ~70% "
-               "load; city-city deviations (5:3:3)\nmatter most.\n";
-  return 0;
+
+  std::vector<double> loads;
+  for (int load = 10; load <= 130; load += 15) {
+    loads.push_back(static_cast<double>(load));
+  }
+
+  engine::Grid grid;
+  grid.axis("load", loads).index_axis("mix", mixes.size());
+  const auto sweep = engine::run_sweep(
+      grid,
+      [&](const engine::Point& point) {
+        const double load = point.value("load");
+        auto instance = net::build_sim(designed.input, plan, build);
+        const auto demands = net::demands_from_traffic(
+            mix_traffic[point.index("mix")],
+            cap.aggregate_gbps * load / 100.0, build.rate_scale);
+        net::install_routes(*instance.network, instance.view, demands,
+                            net::RoutingScheme::ShortestPath);
+        const auto sources =
+            net::attach_udp_workload(instance, demands, 0.0, sim_s, 55);
+        instance.sim->run_until(sim_s + 0.2);
+        return Cell{instance.monitor.mean_delay_s() * 1000.0,
+                    instance.monitor.loss_rate() * 100.0};
+      },
+      {.threads = ctx.threads});
+
+  auto& delay_table = results.add_table(
+      "fig11_delay", "Fig 11 (left): mean one-way delay (ms) vs load",
+      {"load_%", "4:3:3", "4:4:3", "5:3:3", "4:3:4"});
+  auto& loss_table = results.add_table(
+      "fig11_loss", "Fig 11 (right): loss rate (%) vs load",
+      {"load_%", "4:3:3", "4:4:3", "5:3:3", "4:3:4"});
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    std::vector<engine::Value> delay_row = {static_cast<int>(loads[l])};
+    std::vector<engine::Value> loss_row = delay_row;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      const Cell& cell = sweep.at(l * mixes.size() + m);
+      delay_row.push_back(engine::Value::real(cell.delay_ms, 3));
+      loss_row.push_back(engine::Value::real(cell.loss_pct, 3));
+    }
+    delay_table.row(delay_row);
+    loss_table.row(loss_row);
+  }
+  results.note(
+      "Paper shape: across mixes the delay curves sit within a few "
+      "hundredths of a\nmillisecond of each other until ~70% load; "
+      "city-city deviations (5:3:3)\nmatter most.");
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig11_traffic_mix",
+     .description = "Fig. 11 / §6.4: delay/loss under traffic-mix deviation",
+     .tags = {"bench", "simulation", "sweep"},
+     .params = {{"budget", "3000", "tower budget for the design"},
+                {"centers", "50 (25 in fast mode)",
+                 "population centers in the design problem"}}},
+    run};
+
+}  // namespace

@@ -4,31 +4,42 @@
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig12_gaming", "Fig. 12 frame time vs conventional latency");
+namespace {
+using namespace cisp;
 
-  Table table("Fig 12: frame time (ms) vs conventional one-way... RTT (ms)",
-              {"conventional_rtt_ms", "conventional_only_mean",
-               "with_augmentation_mean", "augmentation_p95"});
+engine::ResultSet run(const engine::ExperimentContext&) {
+  engine::ResultSet results;
+  auto& table = results.add_table(
+      "fig12_gaming", "Fig 12: frame time (ms) vs conventional one-way RTT (ms)",
+      {"conventional_rtt_ms", "conventional_only_mean",
+       "with_augmentation_mean", "augmentation_p95"});
   for (int rtt = 0; rtt <= 300; rtt += 25) {
     const auto conv = apps::conventional_frame_time(rtt);
     const auto fast = apps::augmented_frame_time(rtt);
-    table.add_row({std::to_string(rtt), fmt(conv.mean_ms, 1),
-                   fmt(fast.mean_ms, 1), fmt(fast.p95_ms, 1)});
+    table.row({rtt, engine::Value::real(conv.mean_ms, 1),
+               engine::Value::real(fast.mean_ms, 1),
+               engine::Value::real(fast.p95_ms, 1)});
   }
-  table.print(std::cout);
-  table.maybe_write_csv("fig12_gaming");
 
   // Fat-client summary (§7.1): pure 3-4x RTT cut.
-  Table fat("§7.1 fat-client gaming: state-update RTT over cISP",
-            {"conventional_rtt_ms", "cisp_rtt_ms"});
+  auto& fat = results.add_table(
+      "fig12_fat_client", "§7.1 fat-client gaming: state-update RTT over cISP",
+      {"conventional_rtt_ms", "cisp_rtt_ms"});
   for (const double rtt : {30.0, 60.0, 120.0, 240.0}) {
-    fat.add_row({fmt(rtt, 0), fmt(apps::fat_client_rtt_ms(rtt), 1)});
+    fat.row({engine::Value::real(rtt, 0),
+             engine::Value::real(apps::fat_client_rtt_ms(rtt), 1)});
   }
-  fat.print(std::cout);
-  std::cout << "\nPaper shape: the conventional-only line grows with slope "
-               "~1 in RTT; the\naugmented line grows at ~1/3 the slope — a "
-               "substantial frame-time reduction\nthat widens with distance.\n";
-  return 0;
+  results.note(
+      "Paper shape: the conventional-only line grows with slope ~1 in RTT; "
+      "the\naugmented line grows at ~1/3 the slope — a substantial "
+      "frame-time reduction\nthat widens with distance.");
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig12_gaming",
+     .description = "Fig. 12 / §7.1: gaming frame time vs RTT",
+     .tags = {"bench", "apps"}},
+    run};
+
+}  // namespace

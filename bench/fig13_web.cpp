@@ -2,14 +2,43 @@
 // Mahimahi-style replay: baseline, cISP (RTT x 0.33 both directions), and
 // cISP-selective (client->server direction only — §7.2's 8.5%-of-bytes
 // variant).
+//
+// Registered experiment: the page corpus runs through engine::run_sweep —
+// each page replays its three variants in one task, and per-variant
+// distributions merge in page (task-index) order.
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace cisp;
-  bench::banner("fig13_web", "Fig. 13(a) PLT CDF, 13(b) OLT CDF");
+namespace {
+using namespace cisp;
 
+struct PageReplays {
+  apps::ReplayResult base;
+  apps::ReplayResult cisp;
+  apps::ReplayResult selective;
+};
+
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
   const auto corpus = apps::generate_corpus();
+
+  engine::Grid grid;
+  grid.index_axis("page", corpus.size());
+  const auto sweep = engine::run_sweep(
+      grid,
+      [&](const engine::Point& point) {
+        const auto& page = corpus[point.index("page")];
+        apps::ReplayParams base;
+        apps::ReplayParams cisp_both;
+        cisp_both.up_scale = 0.33;
+        cisp_both.down_scale = 0.33;
+        apps::ReplayParams selective;
+        selective.up_scale = 0.33;
+        return PageReplays{apps::replay_page(page, base),
+                           apps::replay_page(page, cisp_both),
+                           apps::replay_page(page, selective)};
+      },
+      {.threads = ctx.threads});
+
   Samples plt_base;
   Samples plt_cisp;
   Samples plt_sel;
@@ -18,59 +47,61 @@ int main() {
   Samples olt_sel;
   std::size_t up_bytes = 0;
   std::size_t total_bytes = 0;
-  for (const auto& page : corpus) {
-    apps::ReplayParams base;
-    apps::ReplayParams cisp_both;
-    cisp_both.up_scale = 0.33;
-    cisp_both.down_scale = 0.33;
-    apps::ReplayParams selective;
-    selective.up_scale = 0.33;
-    const auto rb = apps::replay_page(page, base);
-    const auto rc = apps::replay_page(page, cisp_both);
-    const auto rs = apps::replay_page(page, selective);
-    plt_base.add(rb.page_load_time_ms);
-    plt_cisp.add(rc.page_load_time_ms);
-    plt_sel.add(rs.page_load_time_ms);
-    olt_base.add_all(rb.object_load_times_ms.values());
-    olt_cisp.add_all(rc.object_load_times_ms.values());
-    olt_sel.add_all(rs.object_load_times_ms.values());
-    up_bytes += rb.bytes_up;
-    total_bytes += rb.bytes_up + rb.bytes_down;
+  for (std::size_t p = 0; p < sweep.size(); ++p) {
+    const PageReplays& page = sweep.at(p);
+    plt_base.add(page.base.page_load_time_ms);
+    plt_cisp.add(page.cisp.page_load_time_ms);
+    plt_sel.add(page.selective.page_load_time_ms);
+    olt_base.add_all(page.base.object_load_times_ms.values());
+    olt_cisp.add_all(page.cisp.object_load_times_ms.values());
+    olt_sel.add_all(page.selective.object_load_times_ms.values());
+    up_bytes += page.base.bytes_up;
+    total_bytes += page.base.bytes_up + page.base.bytes_down;
   }
 
-  const auto print_cdf = [](const char* title, Samples& base, Samples& cisp,
-                            Samples& sel, const char* slug) {
-    Table t(title, {"percentile", "baseline_ms", "cISP_ms", "cISP_selective_ms"});
+  engine::ResultSet results;
+  const auto add_cdf = [&](const std::string& slug, const std::string& title,
+                           Samples& base, Samples& cisp, Samples& sel) {
+    auto& t = results.add_table(
+        slug, title,
+        {"percentile", "baseline_ms", "cISP_ms", "cISP_selective_ms"});
     for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
-      t.add_row({fmt(p, 0), fmt(base.percentile(p), 0),
-                 fmt(cisp.percentile(p), 0), fmt(sel.percentile(p), 0)});
+      t.row({engine::Value::real(p, 0),
+             engine::Value::real(base.percentile(p), 0),
+             engine::Value::real(cisp.percentile(p), 0),
+             engine::Value::real(sel.percentile(p), 0)});
     }
-    t.print(std::cout);
-    t.maybe_write_csv(slug);
   };
-  print_cdf("Fig 13(a): page load time CDF (80 pages)", plt_base, plt_cisp,
-            plt_sel, "fig13a_plt");
-  print_cdf("Fig 13(b): object load time CDF", olt_base, olt_cisp, olt_sel,
-            "fig13b_olt");
+  add_cdf("fig13a_plt", "Fig 13(a): page load time CDF (80 pages)", plt_base,
+          plt_cisp, plt_sel);
+  add_cdf("fig13b_olt", "Fig 13(b): object load time CDF", olt_base, olt_cisp,
+          olt_sel);
 
-  Table summary("Fig 13 summary", {"metric", "measured", "paper"});
-  summary.add_row(
+  auto& summary = results.add_table("fig13_summary", "Fig 13 summary",
+                                    {"metric", "measured", "paper"});
+  summary.row(
       {"median PLT reduction (cISP)",
        fmt((1.0 - plt_cisp.median() / plt_base.median()) * 100.0, 1) + "%",
        "31% (302 ms)"});
-  summary.add_row(
+  summary.row(
       {"median PLT reduction (selective)",
        fmt((1.0 - plt_sel.median() / plt_base.median()) * 100.0, 1) + "%",
        "27% (265 ms)"});
-  summary.add_row(
+  summary.row(
       {"median OLT reduction (cISP)",
        fmt((1.0 - olt_cisp.median() / olt_base.median()) * 100.0, 1) + "%",
        "49%"});
-  summary.add_row(
+  summary.row(
       {"bytes riding cISP (selective)",
        fmt(static_cast<double>(up_bytes) / total_bytes * 100.0, 1) + "%",
        "8.5%"});
-  summary.print(std::cout);
-  summary.maybe_write_csv("fig13_summary");
-  return 0;
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "fig13_web",
+     .description = "Fig. 13 / §7.2: web PLT/OLT under replay",
+     .tags = {"bench", "apps", "sweep"}},
+    run};
+
+}  // namespace

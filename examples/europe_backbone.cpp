@@ -1,41 +1,50 @@
 // Europe instantiation (§6.2): the same pipeline over European cities with
 // population >= ~300k — demonstrating the design method is not tied to US
-// geography. Pass `fast` for a coarse run.
+// geography. Registered as the `europe_backbone` experiment.
 
-#include <iostream>
-#include <string>
+#include <algorithm>
 
-#include "cisp.hpp"
+#include "bench_common.hpp"
 
-int main(int argc, char** argv) {
-  using namespace cisp;
-  design::ScenarioOptions options;
-  options.fast = argc > 1 && std::string(argv[1]) == "fast";
-  const auto scenario = design::build_europe_scenario(options);
-  std::cout << "== cISP Europe ==\n"
-            << "cities: " << scenario.cities.size()
-            << ", centers: " << scenario.centers.size()
-            << ", towers: " << scenario.tower_graph.towers.size()
-            << ", feasible hops: " << scenario.tower_graph.feasible_hops
-            << "\n";
+namespace {
+using namespace cisp;
 
-  const auto problem = design::city_city_problem(scenario, 3000.0);
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto scenario = bench::eu_scenario(ctx);
+
+  engine::ResultSet results;
+  results.note("cities: " + std::to_string(scenario.cities.size()) +
+               ", centers: " + std::to_string(scenario.centers.size()) +
+               ", towers: " + std::to_string(scenario.tower_graph.towers.size()) +
+               ", feasible hops: " +
+               std::to_string(scenario.tower_graph.feasible_hops));
+
+  const auto problem = design::city_city_problem(
+      scenario, ctx.params.real("budget_towers", 3000.0));
   const auto fiber_only = design::StretchEvaluator::evaluate(problem.input, {});
   const auto topo = design::solve_greedy(problem.input);
-  std::cout << "mean stretch: fiber-only " << fmt(fiber_only.mean_stretch, 3)
-            << " -> cISP " << fmt(topo.mean_stretch, 3) << " ("
-            << topo.links.size() << " MW links, " << fmt(topo.cost_towers, 0)
-            << " towers)\n\n";
 
   design::CapacityParams cap;
-  cap.aggregate_gbps = 100.0;
+  cap.aggregate_gbps = ctx.params.real("aggregate_gbps", 100.0);
   const auto plan = design::plan_capacity(problem.input, topo, problem.links,
                                           scenario.tower_graph.towers, cap);
   const auto cost = design::cost_of(plan);
-  std::cout << "provisioned for 100 Gbps: " << fmt_money(cost.usd_per_gb)
-            << "/GB\n\n";
 
-  Table links("longest built MW links", {"from", "to", "mw_km", "stretch"});
+  auto& summary = results.add_table("europe_backbone_summary",
+                                    "cISP Europe summary", {"metric", "value"});
+  summary.row({"mean stretch, fiber only",
+               engine::Value::real(fiber_only.mean_stretch, 3)});
+  summary.row({"mean stretch, cISP",
+               engine::Value::real(topo.mean_stretch, 3)});
+  summary.row({"MW links", topo.links.size()});
+  summary.row({"towers used", engine::Value::real(topo.cost_towers, 0)});
+  summary.row({"provisioned Gbps",
+               engine::Value::real(cap.aggregate_gbps, 0)});
+  summary.row({"cost per GB", engine::Value::money(cost.usd_per_gb)});
+
+  auto& links = results.add_table("europe_backbone_links",
+                                  "longest built MW links",
+                                  {"from", "to", "mw_km", "stretch"});
   std::vector<std::size_t> by_length = topo.links;
   std::sort(by_length.begin(), by_length.end(),
             [&](std::size_t a, std::size_t b) {
@@ -44,11 +53,21 @@ int main(int argc, char** argv) {
             });
   for (std::size_t i = 0; i < std::min<std::size_t>(8, by_length.size()); ++i) {
     const auto& c = problem.input.candidates()[by_length[i]];
-    links.add_row({problem.names[c.site_a], problem.names[c.site_b],
-                   fmt(c.mw_km, 0),
-                   fmt(c.mw_km / problem.input.geodesic_km(c.site_a, c.site_b),
-                       3)});
+    links.row({problem.names[c.site_a], problem.names[c.site_b],
+               engine::Value::real(c.mw_km, 0),
+               engine::Value::real(
+                   c.mw_km / problem.input.geodesic_km(c.site_a, c.site_b),
+                   3)});
   }
-  links.print(std::cout);
-  return 0;
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "europe_backbone",
+     .description = "Europe backbone walkthrough (§6.2)",
+     .tags = {"example", "design", "europe"},
+     .params = {{"budget_towers", "3000", "tower budget"},
+                {"aggregate_gbps", "100", "provisioned throughput"}}},
+    run};
+
+}  // namespace

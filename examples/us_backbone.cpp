@@ -1,64 +1,73 @@
 // Full US backbone walkthrough: the paper's flagship scenario (§4) with
-// command-line knobs, printing every pipeline stage. Usage:
+// parameter knobs, reporting every pipeline stage. Registered as the
+// `us_backbone` experiment; the old positional CLI arguments became
+// declared parameters:
 //
-//   us_backbone [budget_towers=3000] [max_range_km=100] [aggregate_gbps=100]
-//
-// Add `fast` as a fourth argument for a coarse run.
+//   cisp_experiments run us_backbone --set budget_towers=3000 \
+//       --set max_range_km=100 --set aggregate_gbps=100 [--fast]
 
-#include <cstdlib>
-#include <iostream>
-#include <string>
+#include <algorithm>
 
-#include "cisp.hpp"
+#include "bench_common.hpp"
 
-int main(int argc, char** argv) {
-  using namespace cisp;
-  const double budget = argc > 1 ? std::atof(argv[1]) : 3000.0;
-  const double range = argc > 2 ? std::atof(argv[2]) : 100.0;
-  const double aggregate = argc > 3 ? std::atof(argv[3]) : 100.0;
-  const bool fast = argc > 4 && std::string(argv[4]) == "fast";
+namespace {
+using namespace cisp;
 
-  std::cout << "== cISP US backbone ==\nbudget=" << budget
-            << " towers, max hop range=" << range
-            << " km, aggregate=" << aggregate << " Gbps\n\n";
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const double budget = ctx.params.real("budget_towers", 3000.0);
+  const double range = ctx.params.real("max_range_km", 100.0);
+  const double aggregate = ctx.params.real("aggregate_gbps", 100.0);
 
   design::ScenarioOptions options;
-  options.fast = fast;
   options.hop.max_range_km = range;
-  const auto scenario = design::build_us_scenario(options);
-  std::cout << "[step 0] substrates: " << scenario.tower_graph.towers.size()
-            << " towers, " << scenario.tower_graph.feasible_hops
-            << " feasible hops, " << scenario.centers.size()
-            << " population centers\n";
+  const auto scenario = bench::us_scenario(ctx, options);
+
+  engine::ResultSet results;
+  auto& stages = results.add_table("us_backbone_stages",
+                                   "US backbone pipeline stages",
+                                   {"stage", "detail"});
+  stages.row({"0: substrates",
+              std::to_string(scenario.tower_graph.towers.size()) +
+                  " towers, " +
+                  std::to_string(scenario.tower_graph.feasible_hops) +
+                  " feasible hops, " +
+                  std::to_string(scenario.centers.size()) +
+                  " population centers"});
 
   const auto problem = design::city_city_problem(scenario, budget);
   std::size_t feasible = 0;
   for (const auto& l : problem.links) feasible += l.feasible;
-  std::cout << "[step 1] engineered " << feasible << "/"
-            << problem.links.size() << " site-to-site MW links ("
-            << problem.input.candidates().size()
-            << " candidates after pruning)\n";
+  stages.row({"1: link engineering",
+              std::to_string(feasible) + "/" +
+                  std::to_string(problem.links.size()) +
+                  " site-to-site MW links feasible (" +
+                  std::to_string(problem.input.candidates().size()) +
+                  " candidates after pruning)"});
 
   const auto fiber_only = design::StretchEvaluator::evaluate(problem.input, {});
   const auto topo = design::solve_greedy(problem.input);
-  std::cout << "[step 2] topology: " << topo.links.size() << " links, "
-            << fmt(topo.cost_towers, 0) << " towers, mean stretch "
-            << fmt(topo.mean_stretch, 3) << " (fiber only: "
-            << fmt(fiber_only.mean_stretch, 3) << ")\n";
+  stages.row({"2: topology",
+              std::to_string(topo.links.size()) + " links, " +
+                  fmt(topo.cost_towers, 0) + " towers, mean stretch " +
+                  fmt(topo.mean_stretch, 3) + " (fiber only: " +
+                  fmt(fiber_only.mean_stretch, 3) + ")"});
 
   design::CapacityParams cap;
   cap.aggregate_gbps = aggregate;
   const auto plan = design::plan_capacity(problem.input, topo, problem.links,
                                           scenario.tower_graph.towers, cap);
   const auto cost = design::cost_of(plan);
-  std::cout << "[step 3] capacity: " << plan.base_hops << " hops ("
-            << plan.installed_hop_series << " radio installs), "
-            << plan.new_towers << " new towers, " << fmt_money(cost.usd_per_gb)
-            << "/GB over 5 years\n\n";
+  stages.row({"3: capacity",
+              std::to_string(plan.base_hops) + " hops (" +
+                  std::to_string(plan.installed_hop_series) +
+                  " radio installs), " + std::to_string(plan.new_towers) +
+                  " new towers, " + fmt_money(cost.usd_per_gb) +
+                  "/GB over 5 years"});
 
   // The ten busiest links, Fig. 3 style.
-  Table links("busiest MW links",
-              {"from", "to", "mw_km", "demand_gbps", "series"});
+  auto& links = results.add_table(
+      "us_backbone_links", "busiest MW links",
+      {"from", "to", "mw_km", "demand_gbps", "series"});
   auto sorted = plan.links;
   std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
     return a.demand_gbps > b.demand_gbps;
@@ -66,10 +75,21 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < std::min<std::size_t>(10, sorted.size()); ++i) {
     const auto& link = sorted[i];
     const auto& cand = problem.input.candidates()[link.candidate_index];
-    links.add_row({problem.names[link.site_a], problem.names[link.site_b],
-                   fmt(cand.mw_km, 0), fmt(link.demand_gbps, 2),
-                   std::to_string(link.series)});
+    links.row({problem.names[link.site_a], problem.names[link.site_b],
+               engine::Value::real(cand.mw_km, 0),
+               engine::Value::real(link.demand_gbps, 2),
+               static_cast<std::int64_t>(link.series)});
   }
-  links.print(std::cout);
-  return 0;
+  return results;
 }
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "us_backbone",
+     .description = "US backbone walkthrough with stage-by-stage reporting",
+     .tags = {"example", "design", "capacity"},
+     .params = {{"budget_towers", "3000", "tower budget"},
+                {"max_range_km", "100", "maximum MW hop range"},
+                {"aggregate_gbps", "100", "provisioned throughput"}}},
+    run};
+
+}  // namespace

@@ -29,6 +29,9 @@
 #include "engine/collector.hpp"   // IWYU pragma: export
 #include "engine/executor.hpp"    // IWYU pragma: export
 #include "engine/experiment.hpp"  // IWYU pragma: export
+#include "engine/report.hpp"      // IWYU pragma: export
+#include "engine/result.hpp"      // IWYU pragma: export
+#include "engine/runner.hpp"      // IWYU pragma: export
 #include "engine/sweep.hpp"       // IWYU pragma: export
 #include "geo/geodesic.hpp"     // IWYU pragma: export
 #include "geo/spatial_index.hpp"  // IWYU pragma: export

@@ -1,0 +1,17 @@
+// The unified experiment driver: every bench figure and example pipeline
+// registers into engine::ExperimentRegistry (one translation unit each, all
+// linked into this binary), and this main just forwards to the runner CLI:
+//
+//   cisp_experiments list [--describe]
+//   cisp_experiments describe <name>
+//   cisp_experiments run <name|glob>... [--threads N] [--seed S] [--fast]
+//                    [--set k=v] [--csv-dir DIR] [--json] [--no-cache]
+//                    [--cache-dir DIR] [--require-rows]
+
+#include <iostream>
+
+#include "engine/runner.hpp"
+
+int main(int argc, char** argv) {
+  return cisp::engine::run_cli(argc, argv, std::cout, std::cerr);
+}

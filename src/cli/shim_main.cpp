@@ -1,0 +1,26 @@
+// Shared main() for the per-figure / per-example shim binaries. Each shim
+// links exactly one registration translation unit plus this file, compiled
+// with -DCISP_SHIM_EXPERIMENT="<name>", and simply execs the runner as
+// `run <name>` with any extra argv forwarded — so
+//
+//   ./fig04a_budget_sweep --fast --threads 4 --csv-dir out/
+//
+// behaves exactly like
+//
+//   ./cisp_experiments run fig04a_budget_sweep --fast --threads 4 --csv-dir out/
+
+#include <iostream>
+#include <vector>
+
+#include "engine/runner.hpp"
+
+#ifndef CISP_SHIM_EXPERIMENT
+#error "shim_main.cpp must be compiled with -DCISP_SHIM_EXPERIMENT=\"name\""
+#endif
+
+int main(int argc, char** argv) {
+  std::vector<const char*> args = {argv[0], "run", CISP_SHIM_EXPERIMENT};
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  return cisp::engine::run_cli(static_cast<int>(args.size()), args.data(),
+                               std::cout, std::cerr);
+}

@@ -1,57 +1,155 @@
 #include "engine/experiment.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 #include "util/error.hpp"
 
 namespace cisp::engine {
+
+void Params::set(std::string key, std::string value) {
+  CISP_REQUIRE(!key.empty(), "parameter key must be non-empty");
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Params::contains(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+double Params::real(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& s = it->second;
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  CISP_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+               "parameter " + key + " is not a real number: " + s);
+  return v;
+}
+
+int Params::integer(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& s = it->second;
+  int v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  CISP_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+               "parameter " + key + " is not an integer: " + s);
+  return v;
+}
+
+std::string Params::text(const std::string& key, std::string fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+bool ExperimentSpec::has_param(const std::string& param_name) const {
+  return std::any_of(params.begin(), params.end(),
+                     [&](const ParamSpec& p) { return p.name == param_name; });
+}
+
+bool glob_match(std::string_view pattern, std::string_view name) {
+  // Iterative glob with star backtracking.
+  std::size_t p = 0;
+  std::size_t n = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t star_n = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
 
 ExperimentRegistry& ExperimentRegistry::instance() {
   static ExperimentRegistry registry;
   return registry;
 }
 
-void ExperimentRegistry::add(std::string name, std::string description,
-                             ExperimentFn fn) {
-  CISP_REQUIRE(!name.empty(), "experiment name must be non-empty");
+void ExperimentRegistry::add(ExperimentSpec spec, ExperimentFn fn) {
+  CISP_REQUIRE(!spec.name.empty(), "experiment name must be non-empty");
   CISP_REQUIRE(static_cast<bool>(fn), "experiment fn must be callable");
-  CISP_REQUIRE(!contains(name), "duplicate experiment name: " + name);
-  entries_.emplace_back(std::move(name),
-                        Entry{std::move(description), std::move(fn)});
+  // Duplicates are accepted here and reported from ensure_unique(): this
+  // runs during static initialization, where a throw is a silent
+  // std::terminate.
+  entries_.emplace_back(std::move(spec), std::move(fn));
+}
+
+void ExperimentRegistry::ensure_unique() const {
+  std::string clashes;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      if (entries_[i].first.name != entries_[j].first.name) continue;
+      if (!clashes.empty()) clashes += "; ";
+      clashes += "'" + entries_[i].first.name + "' registered as \"" +
+                 entries_[i].first.description + "\" and again as \"" +
+                 entries_[j].first.description + "\"";
+    }
+  }
+  CISP_REQUIRE(clashes.empty(),
+               "duplicate experiment registrations: " + clashes);
 }
 
 bool ExperimentRegistry::contains(const std::string& name) const {
+  ensure_unique();
   return std::any_of(entries_.begin(), entries_.end(),
-                     [&](const auto& e) { return e.first == name; });
+                     [&](const auto& e) { return e.first.name == name; });
 }
 
-void ExperimentRegistry::run(const std::string& name,
-                             const ExperimentContext& context) const {
-  for (const auto& [entry_name, entry] : entries_) {
-    if (entry_name == name) {
-      entry.fn(context);
-      return;
-    }
+const ExperimentSpec& ExperimentRegistry::spec(const std::string& name) const {
+  ensure_unique();
+  for (const auto& [entry_spec, fn] : entries_) {
+    if (entry_spec.name == name) return entry_spec;
   }
   CISP_REQUIRE(false, "unknown experiment: " + name);
+  return entries_.front().first;  // unreachable
 }
 
-std::vector<ExperimentInfo> ExperimentRegistry::list() const {
-  std::vector<ExperimentInfo> infos;
-  infos.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) {
-    infos.push_back({name, entry.description});
+ResultSet ExperimentRegistry::run(const std::string& name,
+                                  const ExperimentContext& context) const {
+  ensure_unique();
+  for (const auto& [entry_spec, fn] : entries_) {
+    if (entry_spec.name == name) return fn(context);
   }
-  std::sort(infos.begin(), infos.end(),
-            [](const auto& a, const auto& b) { return a.name < b.name; });
-  return infos;
+  CISP_REQUIRE(false, "unknown experiment: " + name);
+  return {};  // unreachable
 }
 
-RegisterExperiment::RegisterExperiment(std::string name,
-                                       std::string description,
-                                       ExperimentFn fn) {
-  ExperimentRegistry::instance().add(std::move(name), std::move(description),
-                                     std::move(fn));
+std::vector<ExperimentSpec> ExperimentRegistry::list() const {
+  ensure_unique();
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(entries_.size());
+  for (const auto& [entry_spec, fn] : entries_) specs.push_back(entry_spec);
+  std::sort(specs.begin(), specs.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return specs;
+}
+
+std::vector<std::string> ExperimentRegistry::match(
+    std::string_view pattern) const {
+  ensure_unique();
+  std::vector<std::string> names;
+  for (const auto& [entry_spec, fn] : entries_) {
+    if (glob_match(pattern, entry_spec.name)) names.push_back(entry_spec.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+RegisterExperiment::RegisterExperiment(ExperimentSpec spec, ExperimentFn fn) {
+  ExperimentRegistry::instance().add(std::move(spec), std::move(fn));
 }
 
 }  // namespace cisp::engine

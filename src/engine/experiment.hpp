@@ -1,34 +1,91 @@
 #pragma once
-// Registry of named experiments: the uniform entry point the bench and
-// example binaries hang their sweeps on. An experiment is a callable that
-// receives an ExperimentContext (thread count, base seed, fast flag) and
-// runs a pipeline — typically a Grid + run_sweep over an existing design /
-// simulation / weather pipeline. Registering through here gives every
-// workload the same CLI-ish surface (list, run-by-name) and makes new
-// scenarios (regions, failure models, traffic mixes) pluggable without new
-// driver code.
+// Structured experiment API: the uniform entry point every bench and
+// example pipeline hangs its sweeps on. An experiment declares metadata —
+// name, description, tags, tunable parameters with defaults — and is a
+// callable that receives an ExperimentContext (thread count, base seed,
+// fast flag, parameter overrides) and RETURNS an engine::ResultSet instead
+// of printing. Rendering lives in engine/report.hpp; orchestration (CLI
+// flags, glob selection, the result cache) in engine/runner.hpp and the
+// cisp_experiments driver.
+//
+// Registration happens at static-init time via RegisterExperiment, one
+// translation unit per experiment, all linked into the single driver.
+// Duplicate names are NOT diagnosed during registration: throwing inside a
+// static initializer would call std::terminate with no usable message once
+// dozens of TUs link together. Instead duplicates are collected and
+// reported from the first lookup, naming every clashing registration.
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "engine/result.hpp"
+
 namespace cisp::engine {
+
+/// Parameter overrides for one run (`--set key=value`). Values are kept as
+/// text; experiments read them through the typed getters with an explicit
+/// fallback, so an experiment runs identically with an empty Params.
+/// Entries are kept sorted by key (std::map), which makes the
+/// serialization into the cache key canonical.
+class Params {
+ public:
+  void set(std::string key, std::string value);
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Typed getters: return the override parsed as the requested type, or
+  /// `fallback` when the key is absent. Throw cisp::Error on a value that
+  /// does not parse.
+  [[nodiscard]] double real(const std::string& key, double fallback) const;
+  [[nodiscard]] int integer(const std::string& key, int fallback) const;
+  [[nodiscard]] std::string text(const std::string& key,
+                                 std::string fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// One declared tunable: shown by `describe`, validated against `--set`.
+/// `default_value` is documentation (the value the experiment uses when no
+/// override is given); fast mode may scale it down.
+struct ParamSpec {
+  std::string name;
+  std::string default_value;
+  std::string description;
+};
+
+/// Experiment metadata: what `list` and `describe` show.
+struct ExperimentSpec {
+  std::string name;
+  std::string description;
+  std::vector<std::string> tags;
+  std::vector<ParamSpec> params;
+
+  [[nodiscard]] bool has_param(const std::string& param_name) const;
+};
 
 /// Knobs shared by every experiment run.
 struct ExperimentContext {
   std::size_t threads = 0;     ///< 0 = default_thread_count()
   std::uint64_t base_seed = 0;
   bool fast = false;           ///< coarse substrates for smoke runs
+  Params params;               ///< validated `--set` overrides
 };
 
-using ExperimentFn = std::function<void(const ExperimentContext&)>;
+using ExperimentFn = std::function<ResultSet(const ExperimentContext&)>;
 
-struct ExperimentInfo {
-  std::string name;
-  std::string description;
-};
+/// Shell-style glob over experiment names: `*` matches any run, `?` one
+/// character.
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view name);
 
 /// Process-wide registry. Registration is typically done at static-init
 /// time via RegisterExperiment; lookups and runs are by unique name.
@@ -37,30 +94,38 @@ class ExperimentRegistry {
   /// The process-wide instance.
   [[nodiscard]] static ExperimentRegistry& instance();
 
-  /// Registers a uniquely named experiment. Throws cisp::Error on a
-  /// duplicate name.
-  void add(std::string name, std::string description, ExperimentFn fn);
+  /// Registers an experiment. Never throws for a duplicate name (see the
+  /// file comment) — duplicates surface from the first lookup instead.
+  void add(ExperimentSpec spec, ExperimentFn fn);
 
   [[nodiscard]] bool contains(const std::string& name) const;
+  /// Metadata for the named experiment; throws cisp::Error when unknown.
+  [[nodiscard]] const ExperimentSpec& spec(const std::string& name) const;
   /// Runs the named experiment. Throws cisp::Error for an unknown name.
-  void run(const std::string& name, const ExperimentContext& context) const;
+  [[nodiscard]] ResultSet run(const std::string& name,
+                              const ExperimentContext& context) const;
 
   /// All registered experiments, sorted by name.
-  [[nodiscard]] std::vector<ExperimentInfo> list() const;
+  [[nodiscard]] std::vector<ExperimentSpec> list() const;
+  /// Names matching a glob pattern (or the exact name), sorted.
+  [[nodiscard]] std::vector<std::string> match(
+      std::string_view pattern) const;
 
  private:
-  struct Entry {
-    std::string description;
-    ExperimentFn fn;
-  };
-  std::vector<std::pair<std::string, Entry>> entries_;
+  /// Throws cisp::Error naming every duplicate registration. Called from
+  /// every lookup so a clashing link surfaces deterministically with a
+  /// readable message rather than a static-init std::terminate.
+  void ensure_unique() const;
+
+  std::vector<std::pair<ExperimentSpec, ExperimentFn>> entries_;
 };
 
-/// Static-init helper:
-///   static engine::RegisterExperiment reg{"weather_study", "...", fn};
+/// Static-init helper, one per registration TU:
+///   const engine::RegisterExperiment kReg{{.name = "fig04a_budget_sweep",
+///                                          .description = "..."},
+///                                         run};
 struct RegisterExperiment {
-  RegisterExperiment(std::string name, std::string description,
-                     ExperimentFn fn);
+  RegisterExperiment(ExperimentSpec spec, ExperimentFn fn);
 };
 
 }  // namespace cisp::engine

@@ -1,0 +1,143 @@
+#include "engine/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace cisp::engine {
+
+namespace {
+
+/// Bridges a ResultTable into the ASCII/CSV renderer.
+cisp::Table to_ascii_table(const ResultTable& table) {
+  cisp::Table out(table.title(), table.columns());
+  for (const auto& row : table.rows()) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& value : row) cells.push_back(value.rendered());
+    out.add_row(std::move(cells));
+  }
+  return out;
+}
+
+void json_escape(const std::string& s, std::ostream& os) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_value(const Value& value, std::ostream& os) {
+  switch (value.kind()) {
+    case Value::Kind::Null:
+      os << "null";
+      break;
+    case Value::Kind::Real:
+      // Money renders as its display string (the "$" is part of the data);
+      // plain reals emit the precision-formatted number, which is valid
+      // JSON and byte-stable.
+      if (value.is_money()) {
+        json_escape(value.rendered(), os);
+      } else {
+        os << value.rendered();
+      }
+      break;
+    case Value::Kind::Int:
+      os << value.as_int();
+      break;
+    case Value::Kind::Text:
+      json_escape(value.as_text(), os);
+      break;
+  }
+}
+
+}  // namespace
+
+void render_pretty(const ResultSet& set, std::ostream& os) {
+  bool first = true;
+  for (const auto& table : set.tables()) {
+    if (!first) os << '\n';
+    first = false;
+    to_ascii_table(table).print(os);
+  }
+  for (const auto& note : set.notes()) {
+    os << '\n' << note << '\n';
+  }
+}
+
+void render_csv(const ResultTable& table, std::ostream& os) {
+  to_ascii_table(table).write_csv(os);
+}
+
+std::vector<std::string> write_csv_dir(const ResultSet& set,
+                                       const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  for (const auto& table : set.tables()) {
+    const std::string path =
+        (std::filesystem::path(dir) / (table.slug() + ".csv")).string();
+    std::ofstream file(path);
+    CISP_REQUIRE(static_cast<bool>(file), "cannot open CSV file: " + path);
+    render_csv(table, file);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+void render_json(const ResultSet& set, const std::string& experiment_name,
+                 std::ostream& os) {
+  os << "{\"experiment\": ";
+  json_escape(experiment_name, os);
+  os << ", \"tables\": [";
+  bool first_table = true;
+  for (const auto& table : set.tables()) {
+    if (!first_table) os << ", ";
+    first_table = false;
+    os << "{\"slug\": ";
+    json_escape(table.slug(), os);
+    os << ", \"title\": ";
+    json_escape(table.title(), os);
+    os << ", \"columns\": [";
+    for (std::size_t c = 0; c < table.columns().size(); ++c) {
+      if (c) os << ", ";
+      json_escape(table.columns()[c], os);
+    }
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      if (r) os << ", ";
+      os << '[';
+      const auto& row = table.rows()[r];
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c) os << ", ";
+        json_value(row[c], os);
+      }
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << "], \"notes\": [";
+  for (std::size_t n = 0; n < set.notes().size(); ++n) {
+    if (n) os << ", ";
+    json_escape(set.notes()[n], os);
+  }
+  os << "]}\n";
+}
+
+}  // namespace cisp::engine

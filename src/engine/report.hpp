@@ -1,0 +1,40 @@
+#pragma once
+// Rendering sinks for engine::ResultSet: experiments build data, this layer
+// turns it into bytes. Three sinks:
+//   - pretty: the box-drawn ASCII tables + notes the figure binaries have
+//     always printed (cisp::Table underneath);
+//   - CSV: one file per table under an explicit --csv-dir (replaces the
+//     old CISP_BENCH_CSV env-var plumbing in Table::maybe_write_csv);
+//   - JSON: a single machine-readable document for scripting.
+// All sinks are deterministic functions of the ResultSet, so sweep
+// bit-identity extends to rendered output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/result.hpp"
+
+namespace cisp::engine {
+
+/// Renders every table (aligned ASCII) followed by the notes.
+void render_pretty(const ResultSet& set, std::ostream& os);
+
+/// Renders one table as CSV (header + rows, RFC-4180-style escaping).
+void render_csv(const ResultTable& table, std::ostream& os);
+
+/// Writes `<dir>/<slug>.csv` for every table, creating `dir` if needed.
+/// Returns the paths written. Throws cisp::Error when a file cannot be
+/// opened.
+std::vector<std::string> write_csv_dir(const ResultSet& set,
+                                       const std::string& dir);
+
+/// Renders the whole set as a JSON document:
+///   {"experiment": name, "tables": [{"slug","title","columns","rows"}...],
+///    "notes": [...]}
+/// Real cells are emitted at their display precision so JSON output is as
+/// reproducible as the tables.
+void render_json(const ResultSet& set, const std::string& experiment_name,
+                 std::ostream& os);
+
+}  // namespace cisp::engine

@@ -1,0 +1,346 @@
+#include "engine/runner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "engine/report.hpp"
+#include "util/error.hpp"
+
+namespace cisp::engine {
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::size_t env_threads() {
+  const char* v = std::getenv("CISP_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  return static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+}
+
+std::string key_hex(std::uint64_t key) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << key;
+  return os.str();
+}
+
+std::string cache_path(const RunnerOptions& options, const std::string& name,
+                       std::uint64_t key) {
+  return (std::filesystem::path(options.cache_dir) /
+          (name + "-" + key_hex(key) + ".result"))
+      .string();
+}
+
+/// The overrides that apply to this experiment: declared keys only. When
+/// `strict`, an undeclared key is an error (single-experiment runs); in
+/// glob runs undeclared keys are skipped with a log line so one --set can
+/// target a subset of the matched experiments.
+Params applied_params(const ExperimentSpec& spec, const Params& overrides,
+                      bool strict, std::ostream& log) {
+  Params applied;
+  for (const auto& [key, value] : overrides.entries()) {
+    if (spec.has_param(key)) {
+      applied.set(key, value);
+    } else if (strict) {
+      std::string declared;
+      for (const auto& p : spec.params) {
+        if (!declared.empty()) declared += ", ";
+        declared += p.name;
+      }
+      CISP_REQUIRE(false, "experiment " + spec.name +
+                              " does not declare parameter '" + key +
+                              "' (declared: " +
+                              (declared.empty() ? "none" : declared) + ")");
+    } else {
+      log << "[skip] " << spec.name << " does not declare parameter '" << key
+          << "'\n";
+    }
+  }
+  return applied;
+}
+
+void usage(std::ostream& err) {
+  err << "usage: cisp_experiments <command> [args]\n"
+         "\n"
+         "commands:\n"
+         "  list [--describe]       list registered experiments\n"
+         "  describe <name>         show one experiment's metadata\n"
+         "  run <name|glob>...      run experiments (globs: * and ?)\n"
+         "\n"
+         "run flags:\n"
+         "  --threads N     worker threads (0 = all cores; results are\n"
+         "                  identical for every value)  [env CISP_THREADS]\n"
+         "  --seed S        base seed forwarded to experiments (default 0)\n"
+         "  --fast          coarse substrates for smoke runs [env CISP_FAST]\n"
+         "  --set k=v       override a declared parameter (repeatable)\n"
+         "  --csv-dir DIR   write one CSV per result table into DIR\n"
+         "  --json          print results as JSON instead of tables\n"
+         "  --no-cache      disable the result cache (read and write)\n"
+         "  --cache-dir DIR result cache location (default .cisp-cache)\n"
+         "  --require-rows  fail if an experiment returns no rows\n";
+}
+
+void describe_experiment(const ExperimentSpec& spec, std::ostream& out) {
+  out << spec.name << "\n  " << spec.description << '\n';
+  if (!spec.tags.empty()) {
+    out << "  tags: ";
+    for (std::size_t t = 0; t < spec.tags.size(); ++t) {
+      out << (t ? ", " : "") << spec.tags[t];
+    }
+    out << '\n';
+  }
+  for (const auto& p : spec.params) {
+    out << "  --set " << p.name << "=<value>  (default " << p.default_value
+        << ") " << p.description << '\n';
+  }
+}
+
+int cmd_list(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  bool describe = false;
+  for (const auto& arg : args) {
+    if (arg == "--describe") {
+      describe = true;
+    } else {
+      err << "unknown list flag: " << arg << '\n';
+      return 1;
+    }
+  }
+  const auto specs = ExperimentRegistry::instance().list();
+  if (describe) {
+    for (const auto& spec : specs) describe_experiment(spec, out);
+  } else {
+    std::size_t width = 0;
+    for (const auto& spec : specs) width = std::max(width, spec.name.size());
+    for (const auto& spec : specs) {
+      out << spec.name << std::string(width - spec.name.size() + 2, ' ')
+          << spec.description << '\n';
+    }
+  }
+  out << specs.size() << " experiments\n";
+  return 0;
+}
+
+int cmd_describe(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.size() != 1) {
+    err << "describe takes exactly one experiment name\n";
+    return 1;
+  }
+  describe_experiment(ExperimentRegistry::instance().spec(args[0]), out);
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  RunnerOptions options = RunnerOptions::from_env();
+  std::vector<std::string> patterns;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      CISP_REQUIRE(i + 1 < args.size(), "flag " + arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--threads") {
+      options.threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(next());
+    } else if (arg == "--fast") {
+      options.fast = true;
+    } else if (arg == "--set") {
+      const std::string& kv = next();
+      const auto eq = kv.find('=');
+      CISP_REQUIRE(eq != std::string::npos && eq > 0,
+                   "--set expects key=value, got: " + kv);
+      options.overrides.set(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--csv-dir") {
+      options.csv_dir = next();
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = next();
+    } else if (arg == "--require-rows") {
+      options.require_rows = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "unknown run flag: " << arg << '\n';
+      return 1;
+    } else {
+      patterns.push_back(arg);
+    }
+  }
+  if (patterns.empty()) {
+    err << "run needs at least one experiment name or glob\n";
+    return 1;
+  }
+
+  auto& registry = ExperimentRegistry::instance();
+  std::vector<std::string> names;
+  for (const auto& pattern : patterns) {
+    const auto matched = registry.match(pattern);
+    if (matched.empty()) {
+      err << "no experiment matches '" << pattern << "'\n";
+      return 1;
+    }
+    for (const auto& name : matched) {
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+
+  options.strict_params = names.size() == 1;
+  int failures = 0;
+  for (const auto& name : names) {
+    out << "==== " << name << " ====\n";
+    try {
+      const RunReport report = run_experiment(name, options, out);
+      if (options.json) {
+        render_json(report.results, name, out);
+      } else {
+        render_pretty(report.results, out);
+      }
+      if (options.require_rows && report.results.empty()) {
+        err << "experiment " << name << " produced an empty ResultSet\n";
+        ++failures;
+      }
+    } catch (const std::exception& e) {
+      err << "experiment " << name << " failed: " << e.what() << '\n';
+      ++failures;
+    }
+    out << '\n';
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+RunnerOptions RunnerOptions::from_env() {
+  RunnerOptions options;
+  options.threads = env_threads();
+  options.fast = env_flag("CISP_FAST");
+  return options;
+}
+
+std::uint64_t cache_key(const std::string& name, const Params& applied,
+                        std::uint64_t seed, bool fast) {
+  // Canonical key text; params are sorted by construction (std::map).
+  // Separator characters inside names/values are escaped so distinct
+  // parameter sets can never canonicalize to the same string (e.g.
+  // a="1|b=2" vs a=1,b=2).
+  const auto escaped = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      if (ch == '\\' || ch == '|' || ch == '=') out += '\\';
+      out += ch;
+    }
+    return out;
+  };
+  std::string canonical = "cisp-cache-v1|" + escaped(name) + "|seed=" +
+                          std::to_string(seed) + "|fast=" +
+                          (fast ? "1" : "0");
+  for (const auto& [key, value] : applied.entries()) {
+    canonical += "|" + escaped(key) + "=" + escaped(value);
+  }
+  // FNV-1a 64-bit.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char ch : canonical) {
+    hash ^= ch;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+RunReport run_experiment(const std::string& name,
+                         const RunnerOptions& options, std::ostream& log) {
+  auto& registry = ExperimentRegistry::instance();
+  const ExperimentSpec& spec = registry.spec(name);
+  Params applied =
+      applied_params(spec, options.overrides, options.strict_params, log);
+
+  const std::uint64_t key = cache_key(name, applied, options.seed,
+                                      options.fast);
+  const std::string path = cache_path(options, name, key);
+  RunReport report;
+  report.name = name;
+  report.key = key;
+
+  if (options.use_cache) {
+    std::ifstream cached(path);
+    if (cached) {
+      try {
+        report.results = deserialize(cached);
+        report.cache_hit = true;
+        log << "[cache] hit " << path << " — skipping recomputation\n";
+      } catch (const std::exception&) {
+        // Any parse failure (cisp::Error, stoi, ...) means the entry is
+        // unreadable: recompute rather than fail the run.
+        report.results = ResultSet{};
+        log << "[cache] ignoring unreadable entry " << path << '\n';
+      }
+    }
+  }
+
+  if (!report.cache_hit) {
+    ExperimentContext ctx;
+    ctx.threads = options.threads;
+    ctx.base_seed = options.seed;
+    ctx.fast = options.fast;
+    ctx.params = applied;
+    report.results = registry.run(name, ctx);
+    if (options.use_cache) {
+      std::filesystem::create_directories(options.cache_dir);
+      std::ofstream file(path);
+      if (file) {
+        serialize(report.results, file);
+        log << "[cache] stored " << path << '\n';
+      }
+    }
+  }
+
+  if (!options.csv_dir.empty()) {
+    for (const auto& written : write_csv_dir(report.results,
+                                             options.csv_dir)) {
+      log << "[csv] wrote " << written << '\n';
+    }
+  }
+  return report;
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    usage(err);
+    return 1;
+  }
+  const std::string command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "list") return cmd_list(rest, out, err);
+    if (command == "describe") return cmd_describe(rest, out, err);
+    if (command == "run") return cmd_run(rest, out, err);
+    if (command == "--help" || command == "help") {
+      usage(out);
+      return 0;
+    }
+    err << "unknown command: " << command << '\n';
+    usage(err);
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace cisp::engine

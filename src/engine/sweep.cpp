@@ -21,13 +21,24 @@ std::size_t Point::index(std::string_view axis_name) const {
   return indices_[axis_position(axis_name)];
 }
 
+void Grid::ensure_unique_axes() {
+  if (!axes_) {
+    axes_ = std::make_shared<std::vector<Axis>>();
+  } else if (axes_.use_count() > 1) {
+    // Shared with a Point or a Grid copy: clone before mutating so prior
+    // observers keep seeing the axes they captured.
+    axes_ = std::make_shared<std::vector<Axis>>(*axes_);
+  }
+}
+
 Grid& Grid::axis(std::string name, std::vector<double> values) {
   CISP_REQUIRE(!name.empty(), "axis name must be non-empty");
   CISP_REQUIRE(!values.empty(), "axis must have at least one value");
-  for (const auto& existing : axes_) {
+  for (const auto& existing : axes()) {
     CISP_REQUIRE(existing.name != name, "duplicate axis name: " + name);
   }
-  axes_.push_back({std::move(name), std::move(values)});
+  ensure_unique_axes();
+  axes_->push_back({std::move(name), std::move(values)});
   return *this;
 }
 
@@ -51,7 +62,7 @@ Grid& Grid::base_seed(std::uint64_t seed) {
 
 std::size_t Grid::size() const {
   std::size_t n = static_cast<std::size_t>(replicates_);
-  for (const auto& axis : axes_) n *= axis.values.size();
+  for (const auto& axis : axes()) n *= axis.values.size();
   return n;
 }
 
@@ -62,12 +73,18 @@ Point Grid::point(std::size_t task_index) const {
       rest % static_cast<std::size_t>(replicates_));
   rest /= static_cast<std::size_t>(replicates_);
   // Last axis varies fastest (row-major over axes).
-  std::vector<std::size_t> indices(axes_.size(), 0);
-  for (std::size_t a = axes_.size(); a-- > 0;) {
-    indices[a] = rest % axes_[a].values.size();
-    rest /= axes_[a].values.size();
+  const auto& axes_vec = axes();
+  std::vector<std::size_t> indices(axes_vec.size(), 0);
+  for (std::size_t a = axes_vec.size(); a-- > 0;) {
+    indices[a] = rest % axes_vec[a].values.size();
+    rest /= axes_vec[a].values.size();
   }
-  return Point(&axes_, std::move(indices), task_index, replicate,
+  std::shared_ptr<const std::vector<Axis>> shared = axes_;
+  if (!shared) {
+    static const auto kEmpty = std::make_shared<const std::vector<Axis>>();
+    shared = kEmpty;
+  }
+  return Point(std::move(shared), std::move(indices), task_index, replicate,
                task_seed(task_index));
 }
 

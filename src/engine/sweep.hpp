@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -31,12 +32,16 @@ struct Axis {
 };
 
 /// One expanded task: the axis values at this grid point, which replicate
-/// it is, and the deterministic per-task seed.
+/// it is, and the deterministic per-task seed. A Point shares ownership of
+/// its grid's axes, so `grid.point(i)` on a temporary Grid — or a Point
+/// outliving the Grid it came from — is safe: the axes live as long as any
+/// Point referencing them.
 class Point {
  public:
-  Point(const std::vector<Axis>* axes, std::vector<std::size_t> indices,
-        std::size_t task_index, int replicate, std::uint64_t seed)
-      : axes_(axes),
+  Point(std::shared_ptr<const std::vector<Axis>> axes,
+        std::vector<std::size_t> indices, std::size_t task_index,
+        int replicate, std::uint64_t seed)
+      : axes_(std::move(axes)),
         indices_(std::move(indices)),
         task_index_(task_index),
         replicate_(replicate),
@@ -58,7 +63,7 @@ class Point {
  private:
   [[nodiscard]] std::size_t axis_position(std::string_view axis_name) const;
 
-  const std::vector<Axis>* axes_;
+  std::shared_ptr<const std::vector<Axis>> axes_;
   std::vector<std::size_t> indices_;  // one per axis
   std::size_t task_index_;
   int replicate_;
@@ -69,6 +74,11 @@ class Point {
 /// Axis order is significant only for task numbering (first axis varies
 /// slowest); results are keyed by task_index so numbering is part of the
 /// determinism contract.
+///
+/// Lifetime: axes are held behind a shared_ptr with copy-on-write
+/// mutation, so Points (and copies of the Grid) share them safely —
+/// mutating a Grid after handing out Points or copies never changes what
+/// those observers see, and no Point ever dangles.
 class Grid {
  public:
   /// Adds a named axis. Name must be unique and non-empty; values must be
@@ -83,7 +93,10 @@ class Grid {
 
   [[nodiscard]] int replicate_count() const noexcept { return replicates_; }
   [[nodiscard]] std::uint64_t base() const noexcept { return base_seed_; }
-  [[nodiscard]] const std::vector<Axis>& axes() const noexcept { return axes_; }
+  [[nodiscard]] const std::vector<Axis>& axes() const noexcept {
+    static const std::vector<Axis> kEmpty;
+    return axes_ ? *axes_ : kEmpty;
+  }
 
   /// Total task count: product of axis sizes × replicates.
   [[nodiscard]] std::size_t size() const;
@@ -100,7 +113,10 @@ class Grid {
   }
 
  private:
-  std::vector<Axis> axes_;
+  /// Clones the axes when shared with a Point or a Grid copy (CoW).
+  void ensure_unique_axes();
+
+  std::shared_ptr<std::vector<Axis>> axes_;
   int replicates_ = 1;
   std::uint64_t base_seed_ = 0;
 };

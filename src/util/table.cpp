@@ -1,8 +1,6 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -82,15 +80,6 @@ void Table::write_csv(std::ostream& os) const {
     }
     os << '\n';
   }
-}
-
-bool Table::maybe_write_csv(const std::string& slug) const {
-  const char* dir = std::getenv("CISP_BENCH_CSV");
-  if (dir == nullptr || *dir == '\0') return false;
-  std::ofstream file(std::string(dir) + "/" + slug + ".csv");
-  if (!file) return false;
-  write_csv(file);
-  return true;
 }
 
 std::string fmt(double value, int precision) {

@@ -24,11 +24,10 @@ class Table {
 
   /// Renders to the stream with box-drawing separators.
   void print(std::ostream& os) const;
-  /// Renders as CSV (header + rows).
+  /// Renders as CSV (header + rows). CSV *file* output is the report
+  /// layer's job: the cisp_experiments driver's --csv-dir flag (see
+  /// engine/report.hpp), which replaced the old CISP_BENCH_CSV env var.
   void write_csv(std::ostream& os) const;
-  /// Writes CSV to `<dir>/<slug>.csv` if the CISP_BENCH_CSV env var is set;
-  /// no-op otherwise. Returns true if a file was written.
-  bool maybe_write_csv(const std::string& slug) const;
 
  private:
   std::string title_;

@@ -101,6 +101,28 @@ TEST(Grid, RejectsBadAxes) {
   EXPECT_THROW(grid.point(0).value("nope"), Error);
 }
 
+TEST(Grid, PointSharesAxesOwnershipSoItOutlivesTheGrid) {
+  // The historical hazard: Point stored a raw pointer into its Grid, so
+  // `grid.point(i)` on a temporary dangled silently. Points now share
+  // ownership of the axes.
+  const Point p = [] {
+    Grid grid;
+    grid.axis("x", {1.0, 2.0, 3.0});
+    return grid.point(2);
+  }();
+  EXPECT_EQ(p.value("x"), 3.0);
+}
+
+TEST(Grid, MutatingGridAfterPointIsCopyOnWrite) {
+  Grid grid;
+  grid.axis("x", {1.0});
+  const Point p = grid.point(0);
+  grid.axis("y", {5.0, 6.0});  // must not change what p observes
+  EXPECT_EQ(p.value("x"), 1.0);
+  EXPECT_THROW(p.value("y"), Error);
+  EXPECT_EQ(grid.size(), 2u);
+}
+
 TEST(Grid, TaskSeedsAreStableAndDistinct) {
   Grid a;
   a.index_axis("i", 64).base_seed(42);
@@ -293,30 +315,66 @@ TEST(Collector, SlotCollectorFoldsInIndexOrder) {
 TEST(Experiments, RegistryRunsByNameAndLists) {
   ExperimentRegistry registry;
   int runs = 0;
-  registry.add("unit_exp_b", "second", [&](const ExperimentContext&) {});
-  registry.add("unit_exp_a", "first", [&](const ExperimentContext& ctx) {
-    EXPECT_EQ(ctx.threads, 2u);
-    EXPECT_TRUE(ctx.fast);
-    ++runs;
-  });
+  registry.add({.name = "unit_exp_b", .description = "second"},
+               [&](const ExperimentContext&) { return ResultSet{}; });
+  registry.add({.name = "unit_exp_a", .description = "first"},
+               [&](const ExperimentContext& ctx) {
+                 EXPECT_EQ(ctx.threads, 2u);
+                 EXPECT_TRUE(ctx.fast);
+                 EXPECT_EQ(ctx.params.real("x", 1.5), 2.5);
+                 ++runs;
+                 ResultSet set;
+                 set.add_table("t", "title", {"c"}).row({7});
+                 return set;
+               });
   EXPECT_TRUE(registry.contains("unit_exp_a"));
   EXPECT_FALSE(registry.contains("missing"));
 
   ExperimentContext ctx;
   ctx.threads = 2;
   ctx.fast = true;
-  registry.run("unit_exp_a", ctx);
+  ctx.params.set("x", "2.5");
+  const ResultSet result = registry.run("unit_exp_a", ctx);
   EXPECT_EQ(runs, 1);
+  EXPECT_EQ(result.table("t").at(0, 0).as_int(), 7);
 
   const auto infos = registry.list();
   ASSERT_EQ(infos.size(), 2u);
   EXPECT_EQ(infos[0].name, "unit_exp_a");  // sorted
   EXPECT_EQ(infos[1].name, "unit_exp_b");
 
-  EXPECT_THROW(registry.run("missing", ctx), Error);
-  EXPECT_THROW(
-      registry.add("unit_exp_a", "dup", [](const ExperimentContext&) {}),
-      Error);
+  EXPECT_THROW((void)registry.run("missing", ctx), Error);
+}
+
+TEST(Experiments, DuplicateRegistrationSurfacesAtLookupNotAdd) {
+  ExperimentRegistry registry;
+  registry.add({.name = "dup_exp", .description = "first registration"},
+               [](const ExperimentContext&) { return ResultSet{}; });
+  // Registering the same name again must NOT throw: during static init a
+  // throw would be a silent std::terminate.
+  registry.add({.name = "dup_exp", .description = "second registration"},
+               [](const ExperimentContext&) { return ResultSet{}; });
+  try {
+    (void)registry.list();
+    FAIL() << "expected duplicate diagnosis at first lookup";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dup_exp"), std::string::npos);
+    EXPECT_NE(what.find("first registration"), std::string::npos);
+    EXPECT_NE(what.find("second registration"), std::string::npos);
+  }
+  EXPECT_THROW((void)registry.contains("dup_exp"), Error);
+}
+
+TEST(Experiments, GlobMatching) {
+  EXPECT_TRUE(glob_match("fig04*", "fig04a_budget_sweep"));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("fig0?_weather", "fig07_weather"));
+  EXPECT_TRUE(glob_match("exact", "exact"));
+  EXPECT_FALSE(glob_match("fig04*", "fig05_perturbation"));
+  EXPECT_FALSE(glob_match("fig0?_weather", "fig07_weathers"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("*ablation*", "the_ablation_suite"));
 }
 
 TEST(Experiments, BenchExperimentsSelfRegister) {

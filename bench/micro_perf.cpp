@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "cisp.hpp"
 
 namespace {
@@ -127,6 +130,75 @@ void BM_StretchEvaluatorAddLink(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StretchEvaluatorAddLink)->Arg(60)->Arg(120);
+
+// Sharded design solvers: serial (Arg(1)) vs 4-thread (Arg(4)) wall time on
+// one instance. Selections are bit-identical at every thread count — only
+// the clock moves — and the Arg(1) path constructs no pool at all, so it
+// doubles as the <5%-regression guard for the serial baseline.
+const design::DesignInput& solver_bench_instance() {
+  static const design::DesignInput instance = [] {
+    const std::size_t n = 40;
+    Rng rng(17);
+    std::vector<std::pair<double, double>> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(0.0, 4000.0), rng.uniform(0.0, 2000.0)});
+    }
+    std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
+    std::vector<design::CandidateLink> cands;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = pts[i].first - pts[j].first;
+        const double dy = pts[i].second - pts[j].second;
+        const double d = std::max(50.0, std::hypot(dx, dy));
+        geod[i][j] = geod[j][i] = d;
+        traffic[i][j] = traffic[j][i] = rng.uniform(0.01, 1.0);
+        cands.push_back({i, j, d * rng.uniform(1.02, 1.12),
+                         std::ceil(d / 90.0) + 1.0});
+      }
+    }
+    auto fiber = geod;
+    for (auto& row : fiber) {
+      for (double& v : row) v *= 1.9;
+    }
+    return design::DesignInput(std::move(geod), std::move(fiber),
+                               std::move(traffic), std::move(cands), 400.0);
+  }();
+  return instance;
+}
+
+void BM_GreedyParallel(benchmark::State& state) {
+  const auto& input = solver_bench_instance();
+  design::GreedyOptions options;
+  options.solver.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design::solve_greedy(input, options));
+  }
+}
+BENCHMARK(BM_GreedyParallel)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactParallel(benchmark::State& state) {
+  const auto& input = solver_bench_instance();
+  design::ExactOptions options;
+  // Restrict to a pool the branch and bound fully proves in milliseconds.
+  options.candidate_pool = design::greedy_candidate_pool(input, 2.0);
+  if (options.candidate_pool.size() > 18) {
+    options.candidate_pool.resize(18);
+  }
+  options.solver.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design::solve_exact(input, options));
+  }
+}
+BENCHMARK(BM_ExactParallel)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // engine_sweep: serial vs N-thread wall time for a weather-study slice run
 // through engine::run_sweep. Compare real time at Arg(1) vs Arg(4): results

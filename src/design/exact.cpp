@@ -1,93 +1,104 @@
 #include "design/exact.hpp"
 
+#include "engine/executor.hpp"
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 namespace cisp::design {
 
 namespace {
 
-class BranchAndBound {
- public:
-  BranchAndBound(const DesignInput& input, const ExactOptions& options)
-      : input_(input), options_(options), eval_(input) {
-    order_ = options.candidate_pool;
-    if (order_.empty()) {
-      order_.resize(input.candidates().size());
-      std::iota(order_.begin(), order_.end(), 0);
-    }
-    // Decide high-impact links first: standalone benefit density on the
-    // fiber-only graph. Good orderings make bounds bite early.
-    StretchEvaluator base(input);
-    std::vector<double> density(input.candidates().size(), 0.0);
-    for (const std::size_t l : order_) {
-      density[l] = base.benefit_of(l) / input.candidates()[l].cost_towers;
-    }
-    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
-      return density[a] > density[b];
-    });
-    start_ = std::chrono::steady_clock::now();
+using Clock = std::chrono::steady_clock;
 
-    // Warm-start incumbent: greedy benefit-per-cost selection restricted to
-    // the candidate pool (so the incumbent is always pool-feasible).
-    StretchEvaluator warm(input);
-    std::vector<std::size_t> warm_links;
-    double spent = 0.0;
-    bool added = true;
-    while (added) {
-      added = false;
-      std::size_t pick = SIZE_MAX;
-      double pick_score = 0.0;
-      for (const std::size_t l : order_) {
-        if (std::find(warm_links.begin(), warm_links.end(), l) !=
-            warm_links.end()) {
-          continue;
-        }
-        const double cost = input.candidates()[l].cost_towers;
-        if (spent + cost > input.budget_towers()) continue;
-        const double score = warm.benefit_of(l) / cost;
-        if (score > pick_score + 1e-15) {
-          pick_score = score;
-          pick = l;
-        }
-      }
-      if (pick != SIZE_MAX && pick_score > 0.0) {
-        warm.add_link(pick);
-        warm_links.push_back(pick);
-        spent += input.candidates()[pick].cost_towers;
-        added = true;
-      }
+constexpr double kEps = 1e-12;
+
+/// State shared by every search worker: the global incumbent VALUE (a
+/// monotone min — workers prune against it), the node budget, and the
+/// abort flag. Selections are NOT exchanged through here; they merge in
+/// deterministic search order after the workers join, which is what keeps
+/// the reported topology thread-count-invariant even when several
+/// selections tie on stretch.
+struct SharedSearch {
+  std::atomic<double> bound{0.0};
+  std::atomic<std::size_t> nodes{0};
+  std::atomic<bool> aborted{false};
+  Clock::time_point start;
+  double time_limit_s = 0.0;
+  std::size_t max_nodes = 0;
+
+  /// Monotone min update; safe from any thread.
+  void post(double value) {
+    double current = bound.load(std::memory_order_relaxed);
+    while (value < current &&
+           !bound.compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
     }
-    incumbent_.links = warm_links;
-    incumbent_.cost_towers = spent;
-    incumbent_.mean_stretch = warm.mean_stretch();
   }
 
-  ExactResult run() {
-    std::vector<std::size_t> included;
-    recurse(0, 0.0, included);
-    ExactResult result;
-    result.topology = incumbent_;
-    result.proven_optimal = !aborted_;
-    result.nodes_explored = nodes_;
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start_;
-    result.elapsed_s = elapsed.count();
-    return result;
+  [[nodiscard]] bool over_limits(std::size_t local_nodes) {
+    if (max_nodes > 0 &&
+        nodes.load(std::memory_order_relaxed) >= max_nodes) {
+      return true;
+    }
+    if (time_limit_s > 0.0 && (local_nodes & 0x3F) == 0) {
+      const std::chrono::duration<double> elapsed = Clock::now() - start;
+      if (elapsed.count() > time_limit_s) return true;
+    }
+    return aborted.load(std::memory_order_relaxed);
+  }
+};
+
+/// Depth-first branch and bound over a suffix of the decision order,
+/// starting from a fixed prefix of include decisions. One worker searches
+/// one independent subtree; the serial solver is the degenerate case of a
+/// single worker rooted at the empty prefix.
+///
+/// The worker does NOT keep a single best incumbent: it records the full
+/// chain of strict running minima it encounters, in DFS order. Which of
+/// those the solver actually adopts is decided later, by replaying the
+/// chain against the serial improvement rule (see solve_exact) — a
+/// worker's initial bound excludes what earlier subtrees found, so
+/// adopting locally would let a near-tie (within the 1e-12 improvement
+/// epsilon) shadow a genuine later improvement and diverge from the
+/// serial solver. Strict minima are a superset of everything the serial
+/// rule can accept, so deferring the decision costs only a few
+/// topologies of memory.
+///
+/// Pruning is two-tier. The local rule (`optimistic >= running min -
+/// 1e-12`) matches the historical serial rule. The shared rule
+/// (`optimistic > shared bound`, STRICT) uses bounds posted concurrently
+/// by other subtrees; strictness means a branch whose relaxation ties the
+/// best-known value is never discarded, so every subtree still reports
+/// its first optimum-achieving leaf (in its own DFS order) no matter when
+/// other subtrees post — the keystone of the determinism argument.
+class DfsWorker {
+ public:
+  DfsWorker(const DesignInput& input, const std::vector<std::size_t>& order,
+            SharedSearch& shared, double initial_bound)
+      : input_(input),
+        order_(order),
+        shared_(&shared),
+        eval_(input),
+        local_min_(initial_bound) {}
+
+  void run(const std::vector<std::size_t>& prefix, double spent,
+           std::size_t depth) {
+    included_ = prefix;
+    for (const std::size_t l : included_) eval_.add_link(l);
+    recurse(depth, spent);
+  }
+
+  /// Strict running minima in DFS visit order.
+  [[nodiscard]] const std::vector<Topology>& improvements() const noexcept {
+    return improvements_;
   }
 
  private:
-  bool out_of_budget() {
-    if (options_.max_nodes > 0 && nodes_ >= options_.max_nodes) return true;
-    if (options_.time_limit_s > 0.0 && (nodes_ & 0x3F) == 0) {
-      const std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - start_;
-      if (elapsed.count() > options_.time_limit_s) return true;
-    }
-    return aborted_;
-  }
-
   /// Optimistic bound: current graph plus ALL undecided candidates (free).
   double optimistic_stretch(std::size_t depth) {
     StretchEvaluator relaxed = eval_;
@@ -97,49 +108,164 @@ class BranchAndBound {
     return relaxed.mean_stretch();
   }
 
-  void recurse(std::size_t depth, double spent,
-               std::vector<std::size_t>& included) {
-    if (out_of_budget()) {
-      aborted_ = true;
+  void recurse(std::size_t depth, double spent) {
+    if (shared_->over_limits(local_nodes_)) {
+      shared_->aborted.store(true, std::memory_order_relaxed);
       return;
     }
-    ++nodes_;
-    // Leaf: evaluate.
+    ++local_nodes_;
+    shared_->nodes.fetch_add(1, std::memory_order_relaxed);
+    // Every node is a feasible selection: evaluate it, and record every
+    // STRICT running minimum (the adopt-or-not decision is the replay's).
     const double current = eval_.mean_stretch();
-    if (current < incumbent_.mean_stretch - 1e-12) {
-      incumbent_.links = included;
-      incumbent_.cost_towers = spent;
-      incumbent_.mean_stretch = current;
+    if (current < local_min_) {
+      local_min_ = current;
+      Topology improvement;
+      improvement.links = included_;
+      improvement.cost_towers = spent;
+      improvement.mean_stretch = current;
+      improvements_.push_back(std::move(improvement));
+      shared_->post(current);
     }
     if (depth >= order_.size()) return;
-    // Bound.
-    if (optimistic_stretch(depth) >= incumbent_.mean_stretch - 1e-12) return;
+    // Bound: local rule first (serial-identical), then the cross-subtree
+    // bound, strictly.
+    const double optimistic = optimistic_stretch(depth);
+    if (optimistic >= local_min_ - kEps) return;
+    if (optimistic > shared_->bound.load(std::memory_order_relaxed)) return;
 
     const std::size_t link = order_[depth];
     const double cost = input_.candidates()[link].cost_towers;
 
-    // Branch 1: include (if affordable and actually useful).
+    // Branch 1: include (if affordable).
     if (spent + cost <= input_.budget_towers() + 1e-9) {
       const StretchEvaluator saved = eval_;
       eval_.add_link(link);
-      included.push_back(link);
-      recurse(depth + 1, spent + cost, included);
-      included.pop_back();
+      included_.push_back(link);
+      recurse(depth + 1, spent + cost);
+      included_.pop_back();
       eval_ = saved;
     }
     // Branch 2: exclude.
-    recurse(depth + 1, spent, included);
+    recurse(depth + 1, spent);
   }
 
   const DesignInput& input_;
-  ExactOptions options_;
+  const std::vector<std::size_t>& order_;
+  SharedSearch* shared_;
   StretchEvaluator eval_;
-  std::vector<std::size_t> order_;
-  Topology incumbent_;
-  std::size_t nodes_ = 0;
-  bool aborted_ = false;
-  std::chrono::steady_clock::time_point start_;
+  double local_min_;
+  std::vector<Topology> improvements_;
+  std::vector<std::size_t> included_;
+  std::size_t local_nodes_ = 0;
 };
+
+/// A root for one independent subtree task, produced by the frontier
+/// expansion: the include-prefix, its cost, the depth the subtree resumes
+/// at, and the expansion incumbent VALUE at this node's DFS position (the
+/// worker's initial bound — position-local, so a worker's "first
+/// improving leaf" matches what a pure serial DFS would have recorded
+/// when it reached this subtree).
+struct SubtreeRoot {
+  std::vector<std::size_t> prefix;
+  double spent = 0.0;
+  std::size_t depth = 0;
+};
+
+/// One entry of the DFS-ordered replay list: either an internal node the
+/// expansion evaluated itself (value + selection recorded), or a subtree
+/// handed to a worker. After the workers join, scanning this list in
+/// order with the serial improvement rule reconstructs exactly the
+/// incumbent a single-threaded DFS would have ended with.
+struct ReplayItem {
+  bool is_subtree = false;
+  std::size_t subtree_index = 0;  ///< into the workers array
+  Topology evaluated;             ///< internal nodes only
+};
+
+struct Expansion {
+  std::vector<SubtreeRoot> roots;
+  std::vector<double> root_bounds;  ///< expansion incumbent value at each root
+  std::vector<ReplayItem> replay;
+  Topology incumbent;  ///< best internal evaluation (starts at warm)
+};
+
+/// Serial DFS over the top of the tree until ~`target_roots` frontier
+/// nodes exist. Internal nodes are evaluated and recorded; pruning uses
+/// the STRICT rule only (optimistic > incumbent), which never discards a
+/// branch that could tie the final optimum — so the set of recorded
+/// values, and therefore the replayed result, does not depend on how far
+/// the expansion ran (i.e. on the thread count).
+Expansion expand_frontier(const DesignInput& input,
+                          const std::vector<std::size_t>& order,
+                          SharedSearch& shared, const Topology& warm,
+                          std::size_t target_roots) {
+  constexpr std::size_t kDepthCap = 16;
+  Expansion out;
+  out.incumbent = warm;
+
+  struct Node {
+    std::vector<std::size_t> prefix;
+    double spent;
+    std::size_t depth;
+  };
+  std::vector<Node> stack;
+  stack.push_back({{}, 0.0, 0});
+
+  while (!stack.empty()) {
+    if (shared.over_limits(shared.nodes.load(std::memory_order_relaxed))) {
+      shared.aborted.store(true, std::memory_order_relaxed);
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    shared.nodes.fetch_add(1, std::memory_order_relaxed);
+
+    StretchEvaluator eval(input);
+    for (const std::size_t l : node.prefix) eval.add_link(l);
+    const double current = eval.mean_stretch();
+    Topology here;
+    here.links = node.prefix;
+    here.cost_towers = node.spent;
+    here.mean_stretch = current;
+    out.replay.push_back({false, 0, here});
+    if (current < out.incumbent.mean_stretch - kEps) out.incumbent = here;
+
+    if (node.depth >= order.size()) continue;  // complete assignment
+    // Strict bound only — see the function comment.
+    StretchEvaluator relaxed = eval;
+    for (std::size_t i = node.depth; i < order.size(); ++i) {
+      relaxed.add_link(order[i]);
+    }
+    if (relaxed.mean_stretch() > out.incumbent.mean_stretch) continue;
+
+    const bool frontier_full =
+        out.roots.size() + stack.size() + 1 >= target_roots;
+    if (frontier_full || node.depth >= kDepthCap) {
+      out.replay.push_back({true, out.roots.size(), {}});
+      out.roots.push_back({node.prefix, node.spent, node.depth});
+      out.root_bounds.push_back(out.incumbent.mean_stretch);
+      continue;
+    }
+    const std::size_t link = order[node.depth];
+    const double cost = input.candidates()[link].cost_towers;
+    // Push exclude first so the include branch pops first (DFS order of
+    // the recursive solver).
+    stack.push_back({node.prefix, node.spent, node.depth + 1});
+    if (node.spent + cost <= input.budget_towers() + 1e-9) {
+      Node include = std::move(node);
+      include.prefix.push_back(link);
+      include.spent += cost;
+      ++include.depth;
+      stack.push_back(std::move(include));
+    }
+  }
+  // A limit abort mid-expansion can leave un-expanded stack nodes behind;
+  // they are simply dropped — no workers launch after an abort, and the
+  // replayed internal evaluations (plus the warm start) already make the
+  // reported incumbent valid, just unproven.
+  return out;
+}
 
 }  // namespace
 
@@ -147,8 +273,145 @@ ExactResult solve_exact(const DesignInput& input, const ExactOptions& options) {
   for (const std::size_t l : options.candidate_pool) {
     CISP_REQUIRE(l < input.candidates().size(), "pool index out of range");
   }
-  BranchAndBound bnb(input, options);
-  return bnb.run();
+
+  std::vector<std::size_t> order = options.candidate_pool;
+  if (order.empty()) {
+    order.resize(input.candidates().size());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  // Decide high-impact links first: standalone benefit density on the
+  // fiber-only graph. Good orderings make bounds bite early. Ties break by
+  // candidate index so the order is a pure function of the instance.
+  {
+    StretchEvaluator base(input);
+    std::vector<double> density(input.candidates().size(), 0.0);
+    for (const std::size_t l : order) {
+      density[l] = base.benefit_of(l) / input.candidates()[l].cost_towers;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (density[a] != density[b]) return density[a] > density[b];
+      return a < b;
+    });
+  }
+
+  SharedSearch shared;
+  shared.start = Clock::now();
+  shared.time_limit_s = options.time_limit_s;
+  shared.max_nodes = options.max_nodes;
+
+  // Warm-start incumbent: greedy benefit-per-cost selection restricted to
+  // the candidate pool (so the incumbent is always pool-feasible).
+  Topology warm;
+  {
+    StretchEvaluator eval(input);
+    std::vector<std::size_t> links;
+    double spent = 0.0;
+    bool added = true;
+    while (added) {
+      added = false;
+      std::size_t pick = SIZE_MAX;
+      double pick_score = 0.0;
+      for (const std::size_t l : order) {
+        if (std::find(links.begin(), links.end(), l) != links.end()) {
+          continue;
+        }
+        const double cost = input.candidates()[l].cost_towers;
+        if (spent + cost > input.budget_towers()) continue;
+        const double score = eval.benefit_of(l) / cost;
+        if (score > pick_score + 1e-15) {
+          pick_score = score;
+          pick = l;
+        }
+      }
+      if (pick != SIZE_MAX && pick_score > 0.0) {
+        eval.add_link(pick);
+        links.push_back(pick);
+        spent += input.candidates()[pick].cost_towers;
+        added = true;
+      }
+    }
+    warm.links = std::move(links);
+    warm.cost_towers = spent;
+    warm.mean_stretch = eval.mean_stretch();
+  }
+
+  ExactResult result;
+  result.warm_start_stretch = warm.mean_stretch;
+
+  const std::size_t threads = options.solver.threads == 0
+                                  ? engine::default_thread_count()
+                                  : options.solver.threads;
+
+  // The serial improvement rule, applied at replay time: adopt a recorded
+  // value only when it beats the adopted-so-far by more than the epsilon.
+  const auto adopt_if_better = [](Topology& best, const Topology& candidate) {
+    if (candidate.mean_stretch < best.mean_stretch - kEps) best = candidate;
+  };
+
+  if (threads <= 1) {
+    // Serial path: one worker rooted at the empty prefix — node for node
+    // the historical recursive solver.
+    shared.bound.store(warm.mean_stretch, std::memory_order_relaxed);
+    DfsWorker worker(input, order, shared, warm.mean_stretch);
+    worker.run({}, 0.0, 0);
+    Topology best = warm;
+    for (const Topology& improvement : worker.improvements()) {
+      adopt_if_better(best, improvement);
+    }
+    result.topology = std::move(best);
+    result.subtree_tasks = 1;
+  } else {
+    // Parallel path: expand a DFS-ordered frontier, search each subtree as
+    // an independent task against the shared bound, then replay the
+    // frontier order serially to merge — the merged incumbent equals the
+    // serial solver's answer at any thread count.
+    Expansion expansion = expand_frontier(input, order, shared, warm,
+                                          /*target_roots=*/threads * 4);
+    shared.bound.store(expansion.incumbent.mean_stretch,
+                       std::memory_order_relaxed);
+
+    std::vector<std::unique_ptr<DfsWorker>> workers;
+    workers.reserve(expansion.roots.size());
+    for (std::size_t r = 0; r < expansion.roots.size(); ++r) {
+      workers.push_back(std::make_unique<DfsWorker>(
+          input, order, shared, expansion.root_bounds[r]));
+    }
+    if (!workers.empty() &&
+        !shared.aborted.load(std::memory_order_relaxed)) {
+      engine::Executor executor(threads);
+      engine::parallel_for(
+          executor, workers.size(),
+          [&](std::size_t r) {
+            const SubtreeRoot& root = expansion.roots[r];
+            workers[r]->run(root.prefix, root.spent, root.depth);
+          },
+          /*grain=*/1);
+    }
+
+    // Deterministic merge: scan the replay list in expansion (= DFS)
+    // order, applying the serial improvement rule to every internal
+    // evaluation and to every worker's improvement chain in turn.
+    Topology best = warm;
+    for (const ReplayItem& item : expansion.replay) {
+      if (item.is_subtree) {
+        for (const Topology& improvement :
+             workers[item.subtree_index]->improvements()) {
+          adopt_if_better(best, improvement);
+        }
+      } else {
+        adopt_if_better(best, item.evaluated);
+      }
+    }
+    result.topology = std::move(best);
+    result.subtree_tasks = std::max<std::size_t>(workers.size(),
+                                                 std::size_t{1});
+  }
+
+  result.proven_optimal = !shared.aborted.load(std::memory_order_relaxed);
+  result.nodes_explored = shared.nodes.load(std::memory_order_relaxed);
+  const std::chrono::duration<double> elapsed = Clock::now() - shared.start;
+  result.elapsed_s = elapsed.count();
+  return result;
 }
 
 }  // namespace cisp::design

@@ -20,13 +20,35 @@ struct ExactOptions {
   /// Optional candidate restriction (e.g. the greedy 2x-budget pool the
   /// paper hands to the ILP). Empty = all candidates.
   std::vector<std::size_t> candidate_pool;
+  /// Sharding: top-level branching decisions become independent subtree
+  /// tasks that share a monotone atomic incumbent bound. The reported
+  /// selection and objective are identical at every thread count (workers
+  /// record full strict-improvement chains that merge by deterministic
+  /// search order under the serial improvement rule, and the
+  /// cross-subtree bound prunes strictly, so a branch tying the optimum
+  /// is never lost); only wall clock and nodes_explored vary. Two caveats:
+  /// when a time/node limit aborts the search, the incumbent is still
+  /// valid but — like wall clock — no longer thread-count-invariant; and
+  /// instances holding distinct selections separated by less than the
+  /// 1e-12 improvement epsilon (sub-epsilon FP near-ties, measure-zero
+  /// for real-valued inputs; exact ties are fine) may in principle
+  /// resolve such a near-tie differently across thread counts.
+  SolverOptions solver;
 };
 
 struct ExactResult {
   Topology topology;
   bool proven_optimal = false;
+  /// Nodes visited across all subtree tasks. Thread-count dependent: with
+  /// more workers, subtrees overlap in time and prune against fresher
+  /// bounds (or explore more before a bound arrives).
   std::size_t nodes_explored = 0;
   double elapsed_s = 0.0;
+  /// Mean stretch of the greedy warm-start incumbent the search began
+  /// from; the final topology never scores above it.
+  double warm_start_stretch = 0.0;
+  /// Independent subtree tasks searched (1 = serial DFS).
+  std::size_t subtree_tasks = 0;
 };
 
 [[nodiscard]] ExactResult solve_exact(const DesignInput& input,

@@ -1,19 +1,53 @@
 #include "design/greedy.hpp"
 
 #include "design/exact.hpp"
+#include "engine/executor.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 
 namespace cisp::design {
 
 namespace {
 
+/// Null when the solver runs serially (threads resolved to 1): the
+/// historical single-core code path, with no pool construction cost.
+std::unique_ptr<engine::Executor> make_pool(const SolverOptions& solver) {
+  const std::size_t threads = solver.threads == 0
+                                  ? engine::default_thread_count()
+                                  : solver.threads;
+  if (threads <= 1) return nullptr;
+  return std::make_unique<engine::Executor>(threads);
+}
+
+/// Runs `fn(i)` for every i in [0, n): serially without a pool, chunked
+/// across the pool otherwise. Caller guarantees fn writes only to slot i,
+/// so the filled output is identical at every thread count.
+template <typename Fn>
+void for_indices(engine::Executor* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  } else {
+    engine::parallel_for(*pool, n, fn);
+  }
+}
+
 /// Lazy greedy: benefits only shrink as links are added (adding a link can
 /// never make another link's improvement larger), so stale heap entries are
 /// safe upper bounds — re-evaluate only the top.
+///
+/// Sharding: the initial fill scores every candidate concurrently (merged
+/// by index), and when a stale top must be re-scored, the next few stale
+/// entries are speculatively re-scored in the same parallel batch and
+/// cached for this epoch. Prefetching never changes a decision — the
+/// selection logic consumes cached values exactly where the serial code
+/// would have computed them — so the chosen links are identical for every
+/// thread count, including against the serial path (the heap comparator
+/// breaks score ties by candidate index, making pop order a total order).
 std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
-                                     bool per_cost) {
+                                     bool per_cost, engine::Executor* pool,
+                                     std::size_t prefetch_width) {
   StretchEvaluator eval(input);
   const auto& candidates = input.candidates();
 
@@ -23,7 +57,8 @@ std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
     std::size_t epoch;  ///< number of links chosen when score was computed
   };
   const auto cmp = [](const Entry& a, const Entry& b) {
-    return a.score < b.score;
+    if (a.score != b.score) return a.score < b.score;
+    return a.link > b.link;  // equal scores: lower candidate index pops first
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
 
@@ -31,9 +66,21 @@ std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
     const double benefit = eval.benefit_of(link);
     return per_cost ? benefit / candidates[link].cost_towers : benefit;
   };
+
+  // Parallel initial fill: each candidate's standalone score is independent.
+  std::vector<double> scores(candidates.size());
+  for_indices(pool, candidates.size(),
+              [&](std::size_t l) { scores[l] = score_of(l); });
   for (std::size_t l = 0; l < candidates.size(); ++l) {
-    heap.push({score_of(l), l, 0});
+    heap.push({scores[l], l, 0});
   }
+
+  // Per-epoch re-score cache filled by speculative batches.
+  std::vector<double> cached_score(candidates.size(), 0.0);
+  std::vector<std::size_t> cached_epoch(candidates.size(), SIZE_MAX);
+  const std::size_t prefetch = pool == nullptr
+                                   ? 1
+                                   : std::max<std::size_t>(2, prefetch_width);
 
   std::vector<std::size_t> chosen;
   std::vector<bool> taken(candidates.size(), false);
@@ -45,7 +92,41 @@ std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
     if (taken[top.link]) continue;
     if (spent + candidates[top.link].cost_towers > budget) continue;
     if (top.epoch != epoch) {
-      top.score = score_of(top.link);
+      if (prefetch <= 1) {
+        // Serial: score the one entry in place, no batch bookkeeping.
+        cached_score[top.link] = score_of(top.link);
+      } else if (cached_epoch[top.link] != epoch) {
+        // Batch: peek ahead at the next stale entries and re-score them
+        // together. Peeked entries that survive are pushed back untouched,
+        // so the heap order (and therefore every later decision) is
+        // unaffected; taken or over-budget entries are dropped for good —
+        // the main loop would discard them unexamined anyway (spent only
+        // grows). The peek is bounded so a tail full of ineligible
+        // entries cannot devolve into draining the whole heap.
+        std::vector<Entry> peeked;
+        std::vector<std::size_t> batch{top.link};
+        std::size_t pops = 0;
+        while (batch.size() < prefetch && pops < prefetch * 4 &&
+               !heap.empty()) {
+          Entry next = heap.top();
+          heap.pop();
+          ++pops;
+          if (taken[next.link] ||
+              spent + candidates[next.link].cost_towers > budget) {
+            continue;  // permanently ineligible: drop
+          }
+          peeked.push_back(next);
+          if (next.epoch != epoch && cached_epoch[next.link] != epoch) {
+            batch.push_back(next.link);
+          }
+        }
+        for_indices(pool, batch.size(), [&](std::size_t b) {
+          cached_score[batch[b]] = score_of(batch[b]);
+        });
+        for (const std::size_t link : batch) cached_epoch[link] = epoch;
+        for (const Entry& entry : peeked) heap.push(entry);
+      }
+      top.score = cached_score[top.link];
       top.epoch = epoch;
       if (top.score <= 0.0) continue;
       // Re-insert unless it is still clearly the best.
@@ -67,15 +148,21 @@ std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
 }  // namespace
 
 std::vector<std::size_t> greedy_candidate_pool(const DesignInput& input,
-                                               double factor) {
+                                               double factor,
+                                               const SolverOptions& solver) {
   CISP_REQUIRE(factor >= 1.0, "candidate budget factor must be >= 1");
+  const auto pool = make_pool(solver);
+  const std::size_t width = pool ? pool->thread_count() * 2 : 1;
   return lazy_greedy(input, input.budget_towers() * factor,
-                     /*per_cost=*/true);
+                     /*per_cost=*/true, pool.get(), width);
 }
 
 Topology solve_greedy(const DesignInput& input, const GreedyOptions& options) {
+  const auto pool = make_pool(options.solver);
+  const std::size_t width = pool ? pool->thread_count() * 2 : 1;
   std::vector<std::size_t> chosen =
-      lazy_greedy(input, input.budget_towers(), options.benefit_per_cost);
+      lazy_greedy(input, input.budget_towers(), options.benefit_per_cost,
+                  pool.get(), width);
   Topology best = StretchEvaluator::evaluate(input, chosen);
 
   if (options.swap_refinement && !chosen.empty()) {
@@ -92,24 +179,30 @@ Topology solve_greedy(const DesignInput& input, const GreedyOptions& options) {
             (best.cost_towers - candidates[best.links[out_pos]].cost_towers);
 
         // Evaluate the graph without the removed link once, then test
-        // candidate insertions via benefit queries.
+        // candidate insertions via benefit queries. The per-candidate
+        // queries are independent const reads, so they shard across the
+        // pool; the argmin scan below stays serial in index order, which
+        // keeps the picked swap identical at every thread count.
         StretchEvaluator eval(input);
         for (const std::size_t l : without) eval.add_link(l);
         const double base_sum_proxy = eval.mean_stretch();
 
+        std::vector<double> swapped_stretch(candidates.size(), kInfeasible);
+        for_indices(pool.get(), candidates.size(), [&](std::size_t cand) {
+          if (std::find(best.links.begin(), best.links.end(), cand) !=
+              best.links.end()) {
+            return;
+          }
+          if (candidates[cand].cost_towers > freed_budget) return;
+          const double gain = eval.benefit_of(cand) / input.total_traffic();
+          swapped_stretch[cand] = base_sum_proxy - gain;
+        });
+
         std::size_t best_in = SIZE_MAX;
         double best_stretch = best.mean_stretch;
         for (std::size_t cand = 0; cand < candidates.size(); ++cand) {
-          if (std::find(best.links.begin(), best.links.end(), cand) !=
-              best.links.end()) {
-            continue;
-          }
-          if (candidates[cand].cost_towers > freed_budget) continue;
-          const double gain =
-              eval.benefit_of(cand) / input.total_traffic();
-          const double new_stretch = base_sum_proxy - gain;
-          if (new_stretch < best_stretch - 1e-12) {
-            best_stretch = new_stretch;
+          if (swapped_stretch[cand] < best_stretch - 1e-12) {
+            best_stretch = swapped_stretch[cand];
             best_in = cand;
           }
         }
@@ -131,21 +224,23 @@ Topology solve_greedy(const DesignInput& input, const GreedyOptions& options) {
     bool added = true;
     while (added) {
       added = false;
-      std::size_t pick = SIZE_MAX;
-      double pick_score = 0.0;
-      for (std::size_t cand = 0; cand < candidates.size(); ++cand) {
+      std::vector<double> fill_score(candidates.size(), -1.0);
+      for_indices(pool.get(), candidates.size(), [&](std::size_t cand) {
         if (std::find(best.links.begin(), best.links.end(), cand) !=
             best.links.end()) {
-          continue;
+          return;
         }
         if (best.cost_towers + candidates[cand].cost_towers >
             input.budget_towers()) {
-          continue;
+          return;
         }
-        const double score =
-            eval.benefit_of(cand) / candidates[cand].cost_towers;
-        if (score > pick_score + 1e-15) {
-          pick_score = score;
+        fill_score[cand] = eval.benefit_of(cand) / candidates[cand].cost_towers;
+      });
+      std::size_t pick = SIZE_MAX;
+      double pick_score = 0.0;
+      for (std::size_t cand = 0; cand < candidates.size(); ++cand) {
+        if (fill_score[cand] > pick_score + 1e-15) {
+          pick_score = fill_score[cand];
           pick = cand;
         }
       }
@@ -164,11 +259,12 @@ Topology solve_greedy(const DesignInput& input, const GreedyOptions& options) {
 Topology solve_cisp(const DesignInput& input, const CispOptions& options) {
   const Topology greedy = solve_greedy(input, options.greedy);
   const std::vector<std::size_t> pool =
-      greedy_candidate_pool(input, options.pool_factor);
+      greedy_candidate_pool(input, options.pool_factor, options.greedy.solver);
   if (pool.size() > options.exact_pool_limit) return greedy;
   ExactOptions exact_options;
   exact_options.time_limit_s = options.exact_time_limit_s;
   exact_options.candidate_pool = pool;
+  exact_options.solver = options.greedy.solver;
   const ExactResult refined = solve_exact(input, exact_options);
   return refined.topology.mean_stretch < greedy.mean_stretch
              ? refined.topology

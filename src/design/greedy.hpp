@@ -21,6 +21,11 @@ struct GreedyOptions {
   /// Post-pass: try remove-one/add-one swaps until no improvement.
   bool swap_refinement = true;
   std::size_t max_swap_rounds = 6;
+  /// Sharding of the per-candidate scoring loops (heap fill, stale-entry
+  /// re-scoring, swap/fill scans). The selection is identical at every
+  /// thread count: scores merge by candidate index and every comparison
+  /// runs serially over the merged vectors.
+  SolverOptions solver;
 };
 
 /// Runs the greedy heuristic; returns the chosen topology (within budget).
@@ -31,13 +36,14 @@ struct GreedyOptions {
 /// and returns candidate indices (superset of what a final selection would
 /// build). This is the pool the paper feeds to the ILP.
 [[nodiscard]] std::vector<std::size_t> greedy_candidate_pool(
-    const DesignInput& input, double factor = 2.0);
+    const DesignInput& input, double factor = 2.0,
+    const SolverOptions& solver = {});
 
 struct CispOptions {
   double pool_factor = 2.0;         ///< paper: 2x budget candidate pool
   std::size_t exact_pool_limit = 30;  ///< run exact refinement up to this pool size
   double exact_time_limit_s = 30.0;
-  GreedyOptions greedy;
+  GreedyOptions greedy;             ///< greedy.solver also drives the exact pass
 };
 
 /// The full cISP design heuristic as described in §3.2: greedy candidate

@@ -18,6 +18,20 @@ namespace cisp::design {
 
 inline constexpr double kInfeasible = 1e18;
 
+/// Shared execution knob for the design solvers (greedy and exact). The
+/// solvers shard their embarrassingly parallel inner loops — per-candidate
+/// benefit scoring, independent branch-and-bound subtrees — across an
+/// engine::Executor, with a hard determinism contract: the returned
+/// selection, cost and mean stretch are identical for EVERY thread count
+/// (scores merge by candidate index; subtree results merge in search
+/// order). Only wall clock and exploration counters vary.
+struct SolverOptions {
+  /// Worker threads. 1 = fully serial (no pool is ever constructed, the
+  /// historical code path); 0 = engine::default_thread_count(); N = a pool
+  /// of N workers.
+  std::size_t threads = 1;
+};
+
 /// A candidate MW link between two sites (output of Step 1).
 struct CandidateLink {
   std::size_t site_a = 0;

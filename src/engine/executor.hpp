@@ -9,9 +9,11 @@
 // drains in-flight work, so `Executor` on the stack gives deterministic
 // cleanup.
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
@@ -65,5 +67,48 @@ class Executor {
   std::condition_variable wake_;
   bool stopping_ = false;
 };
+
+/// Chunked parallel index loop: splits [0, n) into contiguous ranges and
+/// submits each range as ONE task, then blocks until every index ran.
+/// Chunking is the load-balancing lever for skewed per-index costs (the
+/// solver inner loops: one candidate's scoring can cost 10x another's):
+/// with `grain` = 0 the range is cut into ~4 chunks per worker, small
+/// enough that a slow chunk overlaps many fast ones, large enough that the
+/// queue mutex is not hammered once per index.
+///
+/// `fn(i)` is invoked exactly once per index, possibly concurrently for
+/// different indices, so it must be safe to call concurrently (e.g. write
+/// only to slot i of a pre-sized output). Exceptions propagate to the
+/// caller; the failure in the lowest-indexed chunk wins, and every other
+/// chunk still runs to completion first. Indices AFTER a throwing index
+/// within the same chunk are skipped.
+template <typename Fn>
+void parallel_for(Executor& executor, std::size_t n, Fn&& fn,
+                  std::size_t grain = 0) {
+  if (n == 0) return;
+  if (grain == 0) {
+    const std::size_t workers = std::max<std::size_t>(
+        std::size_t{1}, executor.thread_count());
+    const std::size_t chunks = std::min(n, workers * 4);
+    grain = (n + chunks - 1) / chunks;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve((n + grain - 1) / grain);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(n, begin + grain);
+    futures.push_back(executor.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
 
 }  // namespace cisp::engine

@@ -5,15 +5,20 @@
 // library half of the `cisp_experiments` driver (src/cli/) — kept out of the
 // binary so tests can drive the full CLI surface through run_cli().
 //
-// The cache is keyed by (experiment name, applied parameters, seed, fast
-// flag) — never by thread count, because the sweep engine guarantees results
-// are bit-identical for every thread count. A second `run` with the same key
-// deserializes the stored ResultSet and skips recomputation entirely.
+// The cache is keyed by (code version, experiment name, applied parameters,
+// seed, fast flag) — never by thread count, because the sweep engine
+// guarantees results are bit-identical for every thread count. The code
+// version is a hash of the source tree baked in at build time (see
+// cmake/GenerateBuildHash.cmake), so entries written by an older build are
+// misses after a rebuild instead of silently serving stale results. A
+// second `run` with the same key deserializes the stored ResultSet and
+// skips recomputation entirely.
 
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/experiment.hpp"
@@ -30,6 +35,10 @@ struct RunnerOptions {
   bool use_cache = true;       ///< --no-cache disables reads AND writes
   std::string cache_dir = ".cisp-cache";
   bool require_rows = false;   ///< fail runs that produce an empty ResultSet
+  /// Code version folded into every cache key. Empty = build_stamp(), the
+  /// source-tree hash baked in at build time. Overridable so tests can
+  /// simulate a rebuild without actually rebuilding.
+  std::string cache_version;
   /// When true, a --set key the experiment does not declare is an error;
   /// when false (glob runs over several experiments) undeclared keys are
   /// skipped with a log line so one override can target a subset.
@@ -49,11 +58,20 @@ struct RunReport {
   ResultSet results;
 };
 
-/// The cache key: FNV-1a over a canonical rendering of (name, sorted
-/// applied params, seed, fast). Thread count is deliberately excluded.
+/// The code version compiled into this binary: the SHA-256 of the source
+/// tree when the build system generated it (any source edit yields a new
+/// stamp on rebuild), or a compile-timestamp fallback when the generated
+/// header is unavailable.
+[[nodiscard]] std::string_view build_stamp() noexcept;
+
+/// The cache key: FNV-1a over a canonical rendering of (code version,
+/// name, sorted applied params, seed, fast). Thread count is deliberately
+/// excluded; the code version deliberately included — a rebuild must not
+/// serve results computed by different code.
 [[nodiscard]] std::uint64_t cache_key(const std::string& name,
                                       const Params& applied,
-                                      std::uint64_t seed, bool fast);
+                                      std::uint64_t seed, bool fast,
+                                      std::string_view version = {});
 
 /// Runs one experiment through the cache. `log` receives progress lines
 /// ("[cache] hit ...", "[csv] wrote ..."); rendering of the ResultSet is

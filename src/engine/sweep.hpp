@@ -124,6 +124,13 @@ class Grid {
 /// Options for run_sweep. threads = 0 means default_thread_count().
 struct SweepOptions {
   std::size_t threads = 0;
+  /// Adjacent task indices grouped into one pool submission (0 or 1 = one
+  /// task per submission). Chunking amortizes queue traffic for huge grids
+  /// of tiny tasks; keep it small relative to size()/threads so sweeps with
+  /// skewed per-task costs (budget curves: large budgets solve slower) can
+  /// still balance across workers. Never affects results — slots are keyed
+  /// by task index either way.
+  std::size_t chunk = 1;
 };
 
 /// Result of a sweep: per-task values in task-index order (never
@@ -140,8 +147,9 @@ struct SweepResult {
 
 /// Maps `fn(const Point&) -> R` over every task in the grid. Exceptions
 /// from tasks propagate to the caller (the first failing task in task-index
-/// order wins); remaining tasks still run to completion so the pool shuts
-/// down cleanly. R needs only move construction: tasks fill per-slot
+/// order wins); remaining submissions still run to completion so the pool
+/// shuts down cleanly (tasks after a throwing one inside the same chunk are
+/// skipped). R needs only move construction: tasks fill per-slot
 /// optionals (distinct objects, so no write ever shares storage — in
 /// particular R = bool does not alias through vector<bool> bit-packing)
 /// that collapse into the result vector after the join.
@@ -153,12 +161,17 @@ auto run_sweep(const Grid& grid, Fn&& fn, const SweepOptions& options = {})
   std::vector<std::optional<R>> slots(n);
 
   Executor executor(options.threads);
+  const std::size_t chunk = std::max<std::size_t>(std::size_t{1},
+                                                  options.chunk);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(executor.submit([&grid, &fn, &slots, i] {
-      const Point point = grid.point(i);
-      slots[i].emplace(fn(point));
+  futures.reserve((n + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    futures.push_back(executor.submit([&grid, &fn, &slots, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        const Point point = grid.point(i);
+        slots[i].emplace(fn(point));
+      }
     }));
   }
   // Harvest in task-index order: the first failure (by index, not by wall

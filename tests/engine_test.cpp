@@ -162,6 +162,47 @@ TEST(Sweep, SameSeedDifferentThreadCountsBitIdentical) {
   EXPECT_EQ(t1.per_task, t8.per_task);
 }
 
+TEST(Sweep, ChunkedSubmissionMatchesUnchunkedBitIdentical) {
+  // Chunking only groups adjacent task indices into one pool submission
+  // (the lever for skewed task costs); results are keyed by task index and
+  // must not move. Cover a chunk that divides the grid, one that doesn't,
+  // and one bigger than the whole grid.
+  Grid grid;
+  grid.axis("x", {0.0, 1.0, 2.0, 3.0, 4.0}).replicates(8).base_seed(7);
+  const auto plain = run_sweep(grid, monte_carlo_task, {.threads = 2});
+  for (const std::size_t chunk : {2u, 7u, 1000u}) {
+    const auto chunked = run_sweep(grid, monte_carlo_task,
+                                   {.threads = 2, .chunk = chunk});
+    EXPECT_EQ(plain.per_task, chunked.per_task) << "chunk=" << chunk;
+  }
+}
+
+TEST(Executor, ParallelForCoversEveryIndexOnceAtAnyGrain) {
+  for (const std::size_t grain : {0u, 1u, 3u, 100u}) {
+    Executor executor(3);
+    std::vector<int> hits(37, 0);
+    parallel_for(executor, hits.size(),
+                 [&](std::size_t i) { ++hits[i]; }, grain);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i], 1) << "grain=" << grain << " i=" << i;
+    }
+  }
+}
+
+TEST(Executor, ParallelForPropagatesTaskExceptions) {
+  Executor executor(2);
+  std::vector<int> hits(16, 0);
+  EXPECT_THROW(
+      parallel_for(executor, hits.size(),
+                   [&](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                     ++hits[i];
+                   },
+                   /*grain=*/1),
+      std::runtime_error);
+  EXPECT_EQ(hits[4], 1);  // other chunks still ran
+}
+
 TEST(Sweep, ReplicatesDiffer) {
   Grid grid;
   grid.axis("x", {0.0}).replicates(2).base_seed(7);

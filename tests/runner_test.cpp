@@ -271,6 +271,43 @@ TEST(CacheKey, DependsOnNameParamsSeedAndFast) {
   EXPECT_NE(base, cache_key("exp", with_param, 0, false));
 }
 
+TEST(CacheKey, EmbedsTheCodeVersion) {
+  // The key must change across rebuilds: same experiment/params/seed under
+  // a different code version is a different key, and the default version
+  // is the build stamp baked into this binary.
+  Params params;
+  EXPECT_FALSE(build_stamp().empty());
+  EXPECT_EQ(cache_key("exp", params, 0, false),
+            cache_key("exp", params, 0, false, build_stamp()));
+  EXPECT_NE(cache_key("exp", params, 0, false, "build-A"),
+            cache_key("exp", params, 0, false, "build-B"));
+}
+
+TEST(Cache, RebuildInvalidatesEntriesFromTheOldBuild) {
+  // Simulated rebuild via the cache_version override: an entry stored
+  // under version A must be a miss under version B (recompute), and a hit
+  // again under A — hit, miss-after-"rebuild", hit.
+  TempDir dir("cisp-cache-version");
+  RunnerOptions options;
+  options.cache_dir = dir.path;
+  options.cache_version = "build-A";
+  std::ostringstream log;
+
+  g_probe_executions = 0;
+  EXPECT_FALSE(run_experiment("unit_cache_probe", options, log).cache_hit);
+  EXPECT_EQ(g_probe_executions.load(), 1);
+  EXPECT_TRUE(run_experiment("unit_cache_probe", options, log).cache_hit);
+  EXPECT_EQ(g_probe_executions.load(), 1);
+
+  options.cache_version = "build-B";  // the code changed
+  EXPECT_FALSE(run_experiment("unit_cache_probe", options, log).cache_hit);
+  EXPECT_EQ(g_probe_executions.load(), 2);
+
+  options.cache_version = "build-A";  // old entries still keyed correctly
+  EXPECT_TRUE(run_experiment("unit_cache_probe", options, log).cache_hit);
+  EXPECT_EQ(g_probe_executions.load(), 2);
+}
+
 TEST(CacheKey, SeparatorCharactersInValuesCannotCollide) {
   // a="1|b=2" must not canonicalize identically to {a=1, b=2}.
   Params smuggled;

@@ -24,6 +24,7 @@ struct Cell {
 
 engine::ResultSet run(const engine::ExperimentContext& ctx) {
   const auto scenario = bench::us_scenario(ctx);
+  const auto backend = bench::traffic_backend(ctx);
   const auto centers = static_cast<std::size_t>(
       ctx.params.integer("centers", bench::pick(ctx, 40, 25)));
   const auto problem = design::city_city_problem(
@@ -47,18 +48,19 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
       net::RoutingScheme::MinMaxUtilization,
       net::RoutingScheme::ThroughputOptimal};
 
-  // Static route properties at design load: one task per scheme.
+  // Static route properties at design load: one task per scheme. Routes
+  // are computed over the backend-neutral view — no packet Network needed.
   engine::Grid props_grid;
   props_grid.index_axis("scheme", schemes.size());
   const auto props_sweep = engine::run_sweep(
       props_grid,
       [&](const engine::Point& point) {
-        auto instance = net::build_sim(problem.input, plan, build);
+        const auto topo_view =
+            net::view_from_plan(net::plan_links(problem.input, plan, build));
         const auto demands = net::demands_from_traffic(
             traffic, cap.aggregate_gbps, build.rate_scale);
-        const auto result =
-            net::install_routes(*instance.network, instance.view, demands,
-                                schemes[point.index("scheme")]);
+        const auto result = net::compute_routes(
+            topo_view.view, demands, schemes[point.index("scheme")]);
         return PropsRow{result.mean_path_latency_s,
                         result.max_link_utilization};
       },
@@ -81,7 +83,8 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
          engine::Value::real(row.max_link_utilization, 2)});
   }
 
-  // Packet-level loss/delay at increasing loads: load x scheme grid.
+  // Traffic-level loss/delay at increasing loads: load x scheme grid,
+  // each cell one run through the TrafficModel seam.
   std::vector<double> loads;
   for (int load = 40; load <= 120; load += 20) {
     loads.push_back(static_cast<double>(load));
@@ -91,17 +94,14 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
   const auto sweep = engine::run_sweep(
       grid,
       [&](const engine::Point& point) {
-        auto instance = net::build_sim(problem.input, plan, build);
-        const auto demands = net::demands_from_traffic(
-            traffic, cap.aggregate_gbps * point.value("load") / 100.0,
-            build.rate_scale);
-        net::install_routes(*instance.network, instance.view, demands,
-                            schemes[point.index("scheme")]);
-        const auto sources =
-            net::attach_udp_workload(instance, demands, 0.0, sim_s, 33);
-        instance.sim->run_until(sim_s + 0.2);
-        return Cell{instance.monitor.loss_rate() * 100.0,
-                    instance.monitor.mean_delay_s() * 1000.0};
+        bench::TrafficCell cell;
+        cell.scheme = schemes[point.index("scheme")];
+        cell.aggregate_gbps = cap.aggregate_gbps * point.value("load") / 100.0;
+        cell.sim_s = sim_s;
+        cell.seed = 33;
+        const auto stats = bench::run_traffic_cell(
+            backend, problem.input, plan, build, traffic, cell);
+        return Cell{stats.loss_rate * 100.0, stats.mean_delay_s * 1000.0};
       },
       {.threads = ctx.threads});
 
@@ -137,7 +137,8 @@ const engine::RegisterExperiment kRegistration{
      .tags = {"ablation", "simulation", "routing", "sweep"},
      .params = {{"budget", "2000", "tower budget for the design"},
                 {"centers", "40 (25 in fast mode)",
-                 "population centers in the design problem"}}},
+                 "population centers in the design problem"},
+                bench::traffic_backend_param()}},
     run};
 
 }  // namespace

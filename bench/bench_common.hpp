@@ -41,6 +41,93 @@ inline std::size_t pick(const engine::ExperimentContext& ctx,
   return ctx.fast ? fast : full;
 }
 
+// ---------------------------------------------------------------------------
+// Traffic backends: shared plumbing for experiments that realize a demand
+// matrix on a designed topology through the net::TrafficModel seam.
+// ---------------------------------------------------------------------------
+
+/// The declared `traffic_backend` tunable shared by simulation experiments.
+inline engine::ParamSpec traffic_backend_param(
+    std::string default_value = "packet") {
+  return {"traffic_backend", std::move(default_value),
+          "traffic realization backend: packet (DES) or flow (fluid "
+          "max-min rate allocation)"};
+}
+
+inline net::TrafficBackend traffic_backend(const engine::ExperimentContext& ctx,
+                                           const char* fallback = "packet") {
+  return net::parse_traffic_backend(
+      ctx.params.text("traffic_backend", fallback));
+}
+
+/// Per-cell knobs for run_traffic_cell.
+struct TrafficCell {
+  net::RoutingScheme scheme = net::RoutingScheme::ShortestPath;
+  double aggregate_gbps = 100.0;
+  double sim_s = 0.3;          ///< packet backend: source emission window
+  std::uint64_t seed = 0;      ///< packet backend: source phase seed
+  std::size_t threads = 1;     ///< flow backend: allocator sharding
+};
+
+/// One traffic evaluation through the TrafficModel seam — the
+/// demand-scaling / route-install / workload-attach boilerplate formerly
+/// repeated by ablation_routing, fig05_perturbation and fig11_traffic_mix.
+inline net::TrafficStats run_traffic_cell(
+    net::TrafficBackend backend, const design::DesignInput& input,
+    const design::CapacityPlan& plan, const net::BuildOptions& build,
+    const std::vector<std::vector<double>>& traffic, const TrafficCell& cell) {
+  const auto demands = net::flow::DemandMatrix::from_traffic(
+      traffic, cell.aggregate_gbps, build.rate_scale);
+  const auto model = net::make_traffic_model(backend, input, plan, build);
+  net::TrafficRunOptions run;
+  run.scheme = cell.scheme;
+  run.sim_duration_s = cell.sim_s;
+  run.seed = cell.seed;
+  run.threads = cell.threads;
+  return model->run(demands, run).stats;
+}
+
+/// The measured cISP-vs-conventional latency factor for the §7 application
+/// experiments: one small designed instance evaluated through `backend`
+/// over fiber + MW links, then over the fiber-only substrate.
+struct AugmentationMeasurement {
+  double factor = 1.0 / 3.0;
+  net::TrafficStats cisp;
+  net::TrafficStats conventional;
+};
+
+inline AugmentationMeasurement measure_augmentation(
+    const engine::ExperimentContext& ctx, net::TrafficBackend backend) {
+  const auto scenario = us_scenario(ctx);
+  const auto centers = static_cast<std::size_t>(pick(ctx, 30, 15));
+  const auto problem = design::city_city_problem(scenario, 2000.0, centers);
+  const auto topo = design::solve_greedy(problem.input);
+  design::CapacityParams cap;
+  cap.aggregate_gbps = 100.0;
+  const auto plan = design::plan_capacity(problem.input, topo, problem.links,
+                                          scenario.tower_graph.towers, cap);
+  std::vector<infra::PopulationCenter> pcs = scenario.centers;
+  if (pcs.size() > centers) pcs.resize(centers);
+  const auto traffic = infra::population_product_traffic(pcs);
+
+  net::BuildOptions build;
+  build.rate_scale = pick(ctx, 0.05, 0.02);
+  TrafficCell cell;
+  cell.sim_s = pick(ctx, 0.2, 0.1);
+  cell.seed = 4242;
+  // Load far below capacity so both substrates report uncongested latency.
+  cell.aggregate_gbps = 50.0;
+
+  AugmentationMeasurement out;
+  out.cisp =
+      run_traffic_cell(backend, problem.input, plan, build, traffic, cell);
+  const design::CapacityPlan fiber_only;  // no MW links: the conventional net
+  out.conventional = run_traffic_cell(backend, problem.input, fiber_only,
+                                      build, traffic, cell);
+  out.factor = apps::augmentation_factor(out.cisp, out.conventional);
+  return out;
+}
+
 /// Renders an AsciiMap of the designed topology (population centers as
 /// 'o', built MW links as '*') into a note-ready string.
 inline std::string topology_map_note(const design::Scenario& scenario,

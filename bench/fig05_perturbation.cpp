@@ -47,6 +47,7 @@ struct Cell {
 
 engine::ResultSet run(const engine::ExperimentContext& ctx) {
   design::ScenarioOptions options;
+  const auto backend = bench::traffic_backend(ctx);
   const std::size_t max_centers = ctx.fast ? 30 : 60;
   const auto scenario = bench::us_scenario(ctx, options);
   const auto problem = design::city_city_problem(scenario, 3000.0, max_centers);
@@ -82,23 +83,21 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
       [&](const engine::Point& point) {
         const double load = point.value("load");
         const double gamma = point.value("gamma");
-        auto instance = net::build_sim(problem.input, plan, build);
         // Seeds match the historical serial loop (1000 + gamma index) so
         // the table reproduces the original figure exactly.
         const auto traffic =
             gamma == 0.0 ? infra::population_product_traffic(centers)
                          : perturbed_traffic(centers, gamma,
                                              1000 + point.index("gamma"));
-        const auto demands = net::demands_from_traffic(
-            traffic, cap.aggregate_gbps * load / 100.0, build.rate_scale);
-        net::install_routes(*instance.network, instance.view, demands,
-                            net::RoutingScheme::ShortestPath);
-        const auto sources =
-            net::attach_udp_workload(instance, demands, 0.0, sim_s, 77);
-        instance.sim->run_until(sim_s + 0.2);
+        bench::TrafficCell spec;
+        spec.aggregate_gbps = cap.aggregate_gbps * load / 100.0;
+        spec.sim_s = sim_s;
+        spec.seed = 77;
+        const auto stats = bench::run_traffic_cell(
+            backend, problem.input, plan, build, traffic, spec);
         Cell cell;
-        cell.delay_ms = instance.monitor.mean_delay_s() * 1000.0;
-        cell.loss_pct = instance.monitor.loss_rate() * 100.0;
+        cell.delay_ms = stats.mean_delay_s * 1000.0;
+        cell.loss_pct = stats.loss_rate * 100.0;
         return cell;
       },
       {.threads = ctx.threads});
@@ -132,7 +131,8 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
 const engine::RegisterExperiment kRegistration{
     {.name = "fig05_perturbation",
      .description = "Fig. 5: delay/loss vs load under traffic perturbation",
-     .tags = {"bench", "simulation", "sweep"}},
+     .tags = {"bench", "simulation", "sweep"},
+     .params = {bench::traffic_backend_param()}},
     run};
 
 }  // namespace

@@ -19,6 +19,7 @@ struct Cell {
 
 engine::ResultSet run(const engine::ExperimentContext& ctx) {
   const auto scenario = bench::us_scenario(ctx);
+  const auto backend = bench::traffic_backend(ctx);
   const auto centers = static_cast<std::size_t>(
       ctx.params.integer("centers", bench::pick(ctx, 50, 25)));
   const double budget = ctx.params.real("budget", 3000.0);
@@ -77,17 +78,14 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
       grid,
       [&](const engine::Point& point) {
         const double load = point.value("load");
-        auto instance = net::build_sim(designed.input, plan, build);
-        const auto demands = net::demands_from_traffic(
-            mix_traffic[point.index("mix")],
-            cap.aggregate_gbps * load / 100.0, build.rate_scale);
-        net::install_routes(*instance.network, instance.view, demands,
-                            net::RoutingScheme::ShortestPath);
-        const auto sources =
-            net::attach_udp_workload(instance, demands, 0.0, sim_s, 55);
-        instance.sim->run_until(sim_s + 0.2);
-        return Cell{instance.monitor.mean_delay_s() * 1000.0,
-                    instance.monitor.loss_rate() * 100.0};
+        bench::TrafficCell spec;
+        spec.aggregate_gbps = cap.aggregate_gbps * load / 100.0;
+        spec.sim_s = sim_s;
+        spec.seed = 55;
+        const auto stats = bench::run_traffic_cell(
+            backend, designed.input, plan, build,
+            mix_traffic[point.index("mix")], spec);
+        return Cell{stats.mean_delay_s * 1000.0, stats.loss_rate * 100.0};
       },
       {.threads = ctx.threads});
 
@@ -121,7 +119,8 @@ const engine::RegisterExperiment kRegistration{
      .tags = {"bench", "simulation", "sweep"},
      .params = {{"budget", "3000", "tower budget for the design"},
                 {"centers", "50 (25 in fast mode)",
-                 "population centers in the design problem"}}},
+                 "population centers in the design problem"},
+                bench::traffic_backend_param()}},
     run};
 
 }  // namespace

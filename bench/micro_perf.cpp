@@ -243,6 +243,116 @@ BENCHMARK(BM_EngineSweepWeatherSlice)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Flow backend: max-min allocation wall time vs endpoint count. Users are
+// apportioned over the city-pair matrix of a 30-site substrate, so state
+// (and time) scales with pairs, not users — the 10^6 entry demonstrates
+// exactly that.
+struct FlowBenchInstance {
+  design::DesignInput input;
+  design::CapacityPlan plan;
+  std::vector<std::vector<double>> traffic;
+};
+
+const FlowBenchInstance& flow_bench_instance() {
+  static const FlowBenchInstance instance = [] {
+    const std::size_t n = 30;
+    Rng rng(23);
+    std::vector<std::pair<double, double>> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(0.0, 4000.0), rng.uniform(0.0, 2000.0)});
+    }
+    std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
+    std::vector<design::CandidateLink> cands;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = pts[i].first - pts[j].first;
+        const double dy = pts[i].second - pts[j].second;
+        const double d = std::max(50.0, std::hypot(dx, dy));
+        geod[i][j] = geod[j][i] = d;
+        traffic[i][j] = traffic[j][i] = rng.uniform(0.01, 1.0);
+        cands.push_back({i, j, d * 1.05, std::ceil(d / 90.0) + 1.0});
+      }
+    }
+    auto fiber = geod;
+    for (auto& row : fiber) {
+      for (double& v : row) v *= 1.9;
+    }
+    design::DesignInput input(std::move(geod), std::move(fiber), traffic,
+                              cands, 300.0);
+    const auto topo = design::solve_greedy(input);
+    design::CapacityPlan plan;
+    plan.aggregate_gbps = 100.0;
+    for (const std::size_t link : topo.links) {
+      design::LinkProvision prov;
+      prov.candidate_index = link;
+      prov.site_a = input.candidates()[link].site_a;
+      prov.site_b = input.candidates()[link].site_b;
+      prov.series = 3;
+      plan.links.push_back(prov);
+    }
+    return FlowBenchInstance{std::move(input), std::move(plan),
+                             std::move(traffic)};
+  }();
+  return instance;
+}
+
+void BM_FlowAllocator(benchmark::State& state) {
+  const auto& instance = flow_bench_instance();
+  const auto users = static_cast<std::uint64_t>(state.range(0));
+  const auto demands =
+      net::flow::DemandMatrix::from_users(instance.traffic, users, 1e5);
+  const auto model = net::make_traffic_model(
+      net::TrafficBackend::Flow, instance.input, instance.plan);
+  net::TrafficRunOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->run(demands, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(users));
+}
+BENCHMARK(BM_FlowAllocator)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// Packet vs flow at a matched scenario size: the same demand matrix and
+// substrate realized by each backend (packet pays per-packet event cost
+// over a 50 ms window; flow pays one allocation).
+void BM_TrafficBackendPacket(benchmark::State& state) {
+  const auto& instance = flow_bench_instance();
+  net::BuildOptions build;
+  build.rate_scale = 0.02;
+  const auto demands = net::flow::DemandMatrix::from_traffic(
+      instance.traffic, 100.0, build.rate_scale);
+  const auto model = net::make_traffic_model(
+      net::TrafficBackend::Packet, instance.input, instance.plan, build);
+  net::TrafficRunOptions options;
+  options.sim_duration_s = 0.05;
+  options.drain_s = 0.05;
+  options.seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->run(demands, options));
+  }
+}
+BENCHMARK(BM_TrafficBackendPacket)->Unit(benchmark::kMillisecond);
+
+void BM_TrafficBackendFlow(benchmark::State& state) {
+  const auto& instance = flow_bench_instance();
+  net::BuildOptions build;
+  build.rate_scale = 0.02;
+  const auto demands = net::flow::DemandMatrix::from_traffic(
+      instance.traffic, 100.0, build.rate_scale);
+  const auto model = net::make_traffic_model(
+      net::TrafficBackend::Flow, instance.input, instance.plan, build);
+  net::TrafficRunOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->run(demands, options));
+  }
+}
+BENCHMARK(BM_TrafficBackendFlow)->Unit(benchmark::kMillisecond);
+
 void BM_DesPacketForwarding(benchmark::State& state) {
   for (auto _ : state) {
     net::Simulator sim;

@@ -1,0 +1,15 @@
+#include "apps/augmentation.hpp"
+
+#include <algorithm>
+
+namespace cisp::apps {
+
+double augmentation_factor(const net::TrafficStats& cisp,
+                           const net::TrafficStats& conventional) {
+  if (cisp.mean_delay_s <= 0.0 || conventional.mean_delay_s <= 0.0) {
+    return 1.0 / 3.0;
+  }
+  return std::clamp(cisp.mean_delay_s / conventional.mean_delay_s, 0.05, 1.0);
+}
+
+}  // namespace cisp::apps

@@ -1,0 +1,19 @@
+#pragma once
+// Bridges the TrafficModel seam into the §7 application models: the
+// gaming and web experiments need the latency factor of the augmented
+// (cISP) path relative to conventional connectivity. The paper uses a
+// fixed 1/3; with a traffic backend the factor is instead measured from
+// the designed network — the same scenario evaluated once over fiber +
+// MW links and once over the fiber-only substrate.
+
+#include "net/traffic_model.hpp"
+
+namespace cisp::apps {
+
+/// The measured latency factor: cISP mean one-way delay over the
+/// conventional (fiber-only) mean one-way delay, clamped to [0.05, 1].
+/// Falls back to the paper's 1/3 when either run carried no traffic.
+[[nodiscard]] double augmentation_factor(
+    const net::TrafficStats& cisp, const net::TrafficStats& conventional);
+
+}  // namespace cisp::apps

@@ -11,10 +11,13 @@
 //   graph/    Dijkstra, k-shortest paths, max-flow, concurrent flow
 //   lp/       simplex + branch-and-bound MILP (Gurobi substitute)
 //   design/   the paper's pipeline: hops -> links -> topology -> capacity
-//   net/      packet-level discrete-event simulator (ns-3 substitute)
+//   net/      traffic backends behind the TrafficModel seam: packet-level
+//             discrete-event simulator (ns-3 substitute) + fluid flow-level
+//             max-min allocation (net/flow/) for millions-of-users scale
 //   weather/  storm process + outage model + year-long study
 //   apps/     gaming, web-browsing and economic models
 
+#include "apps/augmentation.hpp"  // IWYU pragma: export
 #include "apps/econ.hpp"        // IWYU pragma: export
 #include "apps/gaming.hpp"      // IWYU pragma: export
 #include "apps/web.hpp"         // IWYU pragma: export
@@ -45,6 +48,7 @@
 #include "lp/milp.hpp"          // IWYU pragma: export
 #include "net/builder.hpp"      // IWYU pragma: export
 #include "net/tcp.hpp"          // IWYU pragma: export
+#include "net/traffic_model.hpp"  // IWYU pragma: export
 #include "rf/fresnel.hpp"       // IWYU pragma: export
 #include "rf/link_budget.hpp"   // IWYU pragma: export
 #include "rf/rain.hpp"          // IWYU pragma: export

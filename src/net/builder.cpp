@@ -3,33 +3,19 @@
 #include <algorithm>
 
 #include "geo/latlon.hpp"
+#include "net/flow/demand_matrix.hpp"
 #include "util/error.hpp"
 
 namespace cisp::net {
 
-SimInstance build_sim(const design::DesignInput& input,
-                      const design::CapacityPlan& plan,
-                      const BuildOptions& options) {
+LinkPlan plan_links(const design::DesignInput& input,
+                    const design::CapacityPlan& plan,
+                    const BuildOptions& options) {
   CISP_REQUIRE(options.rate_scale > 0.0, "rate scale must be positive");
   const std::size_t n = input.site_count();
 
-  SimInstance instance;
-  instance.sim = std::make_unique<Simulator>();
-  instance.network = std::make_unique<Network>(*instance.sim, n);
-  instance.view.latency_graph = graphs::Graph(n);
-
-  const auto add_duplex = [&](std::uint32_t a, std::uint32_t b,
-                              double rate_bps, double latency_s,
-                              std::size_t queue) {
-    const std::size_t link_ab = instance.network->add_duplex_link(
-        a, b, rate_bps, latency_s, queue);
-    instance.view.latency_graph.add_edge(a, b, latency_s);
-    instance.view.edge_to_link.push_back(link_ab);
-    instance.view.capacity_bps.push_back(rate_bps);
-    instance.view.latency_graph.add_edge(b, a, latency_s);
-    instance.view.edge_to_link.push_back(link_ab + 1);
-    instance.view.capacity_bps.push_back(rate_bps);
-  };
+  LinkPlan out;
+  out.node_count = n;
 
   // MW links: aggregated capacity = series^2 * unit (the k^2 rule).
   for (const auto& link : plan.links) {
@@ -40,12 +26,9 @@ SimInstance build_sim(const design::DesignInput& input,
     const double latency_s =
         input.candidates()[link.candidate_index].mw_km /
         geo::kSpeedOfLightKmPerS;
-    const std::size_t before = instance.view.latency_graph.edge_count();
-    add_duplex(static_cast<std::uint32_t>(link.site_a),
-               static_cast<std::uint32_t>(link.site_b), capacity_bps,
-               latency_s, options.mw_queue_packets);
-    instance.mw_edges.push_back(before);
-    instance.mw_edges.push_back(before + 1);
+    out.links.push_back({static_cast<std::uint32_t>(link.site_a),
+                         static_cast<std::uint32_t>(link.site_b), capacity_bps,
+                         latency_s, options.mw_queue_packets, true});
   }
 
   // Fiber mesh: nearest neighbors by fiber distance (plus a chain along
@@ -57,8 +40,9 @@ SimInstance build_sim(const design::DesignInput& input,
     fiber_added[a][b] = fiber_added[b][a] = true;
     const double latency_s =
         input.fiber_effective_km(a, b) / geo::kSpeedOfLightKmPerS;
-    add_duplex(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b),
-               fiber_bps, latency_s, options.fiber_queue_packets);
+    out.links.push_back({static_cast<std::uint32_t>(a),
+                         static_cast<std::uint32_t>(b), fiber_bps, latency_s,
+                         options.fiber_queue_packets, false});
   };
   for (std::size_t a = 0; a < n; ++a) {
     std::vector<std::size_t> order;
@@ -75,28 +59,53 @@ SimInstance build_sim(const design::DesignInput& input,
   // Connectivity backstop: chain sites in index order.
   for (std::size_t a = 0; a + 1 < n; ++a) add_fiber(a, a + 1);
 
+  return out;
+}
+
+TopologyView view_from_plan(const LinkPlan& plan) {
+  TopologyView out;
+  out.view.latency_graph = graphs::Graph(plan.node_count);
+  for (std::size_t i = 0; i < plan.links.size(); ++i) {
+    const PlannedLink& link = plan.links[i];
+    const std::size_t before = out.view.latency_graph.edge_count();
+    out.view.latency_graph.add_edge(link.a, link.b, link.latency_s);
+    out.view.edge_to_link.push_back(2 * i);
+    out.view.capacity_bps.push_back(link.rate_bps);
+    out.view.latency_graph.add_edge(link.b, link.a, link.latency_s);
+    out.view.edge_to_link.push_back(2 * i + 1);
+    out.view.capacity_bps.push_back(link.rate_bps);
+    if (link.is_mw) {
+      out.mw_edges.push_back(before);
+      out.mw_edges.push_back(before + 1);
+    }
+  }
+  return out;
+}
+
+SimInstance build_sim(const design::DesignInput& input,
+                      const design::CapacityPlan& plan,
+                      const BuildOptions& options) {
+  const LinkPlan links = plan_links(input, plan, options);
+
+  SimInstance instance;
+  instance.sim = std::make_unique<Simulator>();
+  instance.network = std::make_unique<Network>(*instance.sim,
+                                              links.node_count);
+  for (const PlannedLink& link : links.links) {
+    instance.network->add_duplex_link(link.a, link.b, link.rate_bps,
+                                      link.latency_s, link.queue_packets);
+  }
+  TopologyView topo = view_from_plan(links);
+  instance.view = std::move(topo.view);
+  instance.mw_edges = std::move(topo.mw_edges);
   return instance;
 }
 
 std::vector<TrafficDemand> demands_from_traffic(
     const std::vector<std::vector<double>>& traffic, double aggregate_gbps,
     double rate_scale) {
-  CISP_REQUIRE(aggregate_gbps > 0.0, "aggregate must be positive");
-  double total = 0.0;
-  for (const auto& row : traffic) {
-    for (const double v : row) total += v;
-  }
-  CISP_REQUIRE(total > 0.0, "traffic matrix is all-zero");
-  std::vector<TrafficDemand> demands;
-  for (std::size_t s = 0; s < traffic.size(); ++s) {
-    for (std::size_t t = 0; t < traffic[s].size(); ++t) {
-      if (s == t || traffic[s][t] <= 0.0) continue;
-      demands.push_back(
-          {static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(t),
-           traffic[s][t] / total * aggregate_gbps * 1e9 * rate_scale});
-    }
-  }
-  return demands;
+  return flow::DemandMatrix::from_traffic(traffic, aggregate_gbps, rate_scale)
+      .to_demands();
 }
 
 std::vector<std::unique_ptr<UdpCbrSource>> attach_udp_workload(

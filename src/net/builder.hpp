@@ -1,10 +1,17 @@
 #pragma once
-// Builds a packet-level simulation from a designed cISP topology (§5):
+// Builds traffic-model substrates from a designed cISP topology (§5):
 // nodes are the routing sites; built MW links carry their provisioned
 // aggregate capacity (parallel tower series aggregated, per the paper's
 // simulation methodology); fiber is modeled as a high-capacity mesh.
 // Capacities and demands can be scaled down together — utilization, the
 // quantity the experiments sweep, is preserved.
+//
+// The build is split in two layers so both traffic backends share one
+// topology definition (the TrafficModel seam, net/traffic_model.hpp):
+//   plan_links()      -> LinkPlan: backend-neutral duplex-link list
+//   view_from_plan()  -> SimTopologyView: the routable graph (flow backend
+//                        stops here — no Network, no per-packet state)
+//   build_sim()       -> SimInstance: the packet simulator wired up
 
 #include <memory>
 
@@ -33,7 +40,43 @@ struct BuildOptions {
   std::size_t fiber_neighbors = 6;
 };
 
-/// A runnable simulation instance (owns simulator + network wiring).
+/// One duplex link of the planned substrate, before any backend commits to
+/// a representation (packet Network link vs flow-level capacitated edge).
+struct PlannedLink {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double rate_bps = 0.0;
+  double latency_s = 0.0;
+  std::size_t queue_packets = 0;
+  bool is_mw = false;
+};
+
+/// The backend-neutral substrate: every duplex link the topology carries.
+struct LinkPlan {
+  std::size_t node_count = 0;
+  std::vector<PlannedLink> links;
+};
+
+/// Expands the designed topology + capacity plan into the duplex-link list
+/// both backends build from (MW links with k^2 capacity, fiber
+/// nearest-neighbor mesh plus a connectivity chain).
+[[nodiscard]] LinkPlan plan_links(const design::DesignInput& input,
+                                  const design::CapacityPlan& plan,
+                                  const BuildOptions& options = {});
+
+/// The routable view of a planned substrate. `edge_to_link` is filled with
+/// the link ids a Network built from the same plan would assign (duplex
+/// link i becomes network links 2i and 2i+1), so the view is identical
+/// whether or not a Network exists. `mw_edges` lists the graph edges that
+/// are MW links (for per-technology stats).
+struct TopologyView {
+  SimTopologyView view;
+  std::vector<std::size_t> mw_edges;
+};
+
+[[nodiscard]] TopologyView view_from_plan(const LinkPlan& plan);
+
+/// A runnable packet simulation instance (owns simulator + network wiring).
 struct SimInstance {
   std::unique_ptr<Simulator> sim;
   std::unique_ptr<Network> network;

@@ -1,0 +1,107 @@
+#include "net/flow/demand_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cisp::net::flow {
+
+DemandMatrix DemandMatrix::from_traffic(
+    const std::vector<std::vector<double>>& traffic, double aggregate_gbps,
+    double rate_scale) {
+  CISP_REQUIRE(aggregate_gbps > 0.0, "aggregate must be positive");
+  double total = 0.0;
+  for (const auto& row : traffic) {
+    for (const double v : row) total += v;
+  }
+  CISP_REQUIRE(total > 0.0, "traffic matrix is all-zero");
+  DemandMatrix out;
+  for (std::size_t s = 0; s < traffic.size(); ++s) {
+    for (std::size_t t = 0; t < traffic[s].size(); ++t) {
+      if (s == t || traffic[s][t] <= 0.0) continue;
+      const double rate =
+          traffic[s][t] / total * aggregate_gbps * 1e9 * rate_scale;
+      out.pairs_.push_back({static_cast<std::uint32_t>(s),
+                            static_cast<std::uint32_t>(t), 1, rate});
+      out.users_ += 1;
+      out.rate_bps_ += rate;
+    }
+  }
+  return out;
+}
+
+DemandMatrix DemandMatrix::from_users(
+    const std::vector<std::vector<double>>& traffic, std::uint64_t total_users,
+    double per_user_bps, double rate_scale) {
+  CISP_REQUIRE(total_users > 0, "user count must be positive");
+  CISP_REQUIRE(per_user_bps > 0.0 && rate_scale > 0.0,
+               "per-user rate and scale must be positive");
+  double total = 0.0;
+  for (const auto& row : traffic) {
+    for (const double v : row) total += v;
+  }
+  CISP_REQUIRE(total > 0.0, "traffic matrix is all-zero");
+
+  // Largest-remainder apportionment: floor every quota, then hand the
+  // leftover users to the largest fractional parts (pair index breaks
+  // ties), so the user split is deterministic and exact.
+  struct Quota {
+    std::size_t pair_index;
+    std::uint32_t src, dst;
+    std::uint64_t users;
+    double fraction;
+  };
+  std::vector<Quota> quotas;
+  std::uint64_t assigned = 0;
+  for (std::size_t s = 0; s < traffic.size(); ++s) {
+    for (std::size_t t = 0; t < traffic[s].size(); ++t) {
+      if (s == t || traffic[s][t] <= 0.0) continue;
+      const double share =
+          traffic[s][t] / total * static_cast<double>(total_users);
+      const auto whole = static_cast<std::uint64_t>(std::floor(share));
+      quotas.push_back({quotas.size(), static_cast<std::uint32_t>(s),
+                        static_cast<std::uint32_t>(t), whole,
+                        share - static_cast<double>(whole)});
+      assigned += whole;
+    }
+  }
+  CISP_REQUIRE(!quotas.empty(), "traffic matrix has no off-diagonal demand");
+  CISP_REQUIRE(assigned <= total_users, "apportionment overflow");
+
+  std::vector<std::size_t> order(quotas.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (quotas[a].fraction != quotas[b].fraction) {
+      return quotas[a].fraction > quotas[b].fraction;
+    }
+    return quotas[a].pair_index < quotas[b].pair_index;
+  });
+  std::uint64_t leftover = total_users - assigned;
+  for (std::size_t i = 0; i < order.size() && leftover > 0; ++i, --leftover) {
+    ++quotas[order[i]].users;
+  }
+
+  DemandMatrix out;
+  for (const Quota& q : quotas) {
+    if (q.users == 0) continue;
+    const double rate =
+        static_cast<double>(q.users) * per_user_bps * rate_scale;
+    out.pairs_.push_back({q.src, q.dst, q.users, rate});
+    out.users_ += q.users;
+    out.rate_bps_ += rate;
+  }
+  CISP_REQUIRE(out.users_ == total_users, "apportionment lost users");
+  return out;
+}
+
+std::vector<TrafficDemand> DemandMatrix::to_demands() const {
+  std::vector<TrafficDemand> demands;
+  demands.reserve(pairs_.size());
+  for (const PairDemand& pair : pairs_) {
+    demands.push_back({pair.src, pair.dst, pair.rate_bps});
+  }
+  return demands;
+}
+
+}  // namespace cisp::net::flow

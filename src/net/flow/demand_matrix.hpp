@@ -1,0 +1,66 @@
+#pragma once
+// Aggregated city-pair demands — the flow backend's unit of work. Instead
+// of one packet source per user, every ordered (src, dst) pair carries ONE
+// fluid flow with a user count and an aggregate offered rate, so an
+// instance with 10^6+ users costs O(site_pairs) memory, not O(users).
+// The packet backend consumes the same matrix through to_demands(), which
+// is what keeps the two backends loading identical traffic.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/routing.hpp"
+
+namespace cisp::net::flow {
+
+/// One aggregated ordered-pair demand: all users from src to dst fused
+/// into a single fluid flow.
+struct PairDemand {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  /// Users aggregated into this flow (1 when built from a raw traffic
+  /// matrix without a user model).
+  std::uint64_t users = 1;
+  /// Aggregate offered rate of the pair, bps.
+  double rate_bps = 0.0;
+};
+
+class DemandMatrix {
+ public:
+  /// Expands a traffic matrix into per-ordered-pair demands totalling
+  /// `aggregate_gbps * rate_scale` (same arithmetic as the historical
+  /// net::demands_from_traffic, which now delegates here). Each pair
+  /// counts as one user.
+  [[nodiscard]] static DemandMatrix from_traffic(
+      const std::vector<std::vector<double>>& traffic, double aggregate_gbps,
+      double rate_scale);
+
+  /// Apportions `total_users` across ordered pairs proportionally to the
+  /// traffic matrix (largest-remainder method, ties broken by pair index,
+  /// so the split is deterministic and sums exactly to `total_users`).
+  /// Each pair's offered rate is `users * per_user_bps * rate_scale`;
+  /// pairs receiving zero users are dropped.
+  [[nodiscard]] static DemandMatrix from_users(
+      const std::vector<std::vector<double>>& traffic,
+      std::uint64_t total_users, double per_user_bps, double rate_scale = 1.0);
+
+  [[nodiscard]] const std::vector<PairDemand>& pairs() const noexcept {
+    return pairs_;
+  }
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return pairs_.size();
+  }
+  [[nodiscard]] std::uint64_t total_users() const noexcept { return users_; }
+  [[nodiscard]] double total_rate_bps() const noexcept { return rate_bps_; }
+
+  /// The packet layer's demand list, in pair order (flow ids there are
+  /// indices into pairs()).
+  [[nodiscard]] std::vector<TrafficDemand> to_demands() const;
+
+ private:
+  std::vector<PairDemand> pairs_;
+  std::uint64_t users_ = 0;
+  double rate_bps_ = 0.0;
+};
+
+}  // namespace cisp::net::flow

@@ -1,0 +1,177 @@
+#include "net/flow/max_min.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "engine/executor.hpp"
+#include "util/error.hpp"
+
+namespace cisp::net::flow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exact-min reduction, optionally sharded: chunk minima land in distinct
+/// slots and merge serially in chunk order, so the result is the true
+/// minimum at every thread count (min is exact — no FP accumulation).
+template <typename Fn>
+double sharded_min(engine::Executor* pool, std::size_t cutoff, std::size_t n,
+                   Fn&& value_of) {
+  if (pool == nullptr || n < cutoff) {
+    double best = kInf;
+    for (std::size_t i = 0; i < n; ++i) best = std::min(best, value_of(i));
+    return best;
+  }
+  const std::size_t chunks =
+      std::min(n, std::max<std::size_t>(1, pool->thread_count()) * 4);
+  const std::size_t grain = (n + chunks - 1) / chunks;
+  std::vector<double> partial(chunks, kInf);
+  engine::parallel_for(
+      *pool, chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * grain;
+        const std::size_t end = std::min(n, begin + grain);
+        double best = kInf;
+        for (std::size_t i = begin; i < end; ++i) {
+          best = std::min(best, value_of(i));
+        }
+        partial[c] = best;
+      },
+      1);
+  double best = kInf;
+  for (const double v : partial) best = std::min(best, v);
+  return best;
+}
+
+/// Independent per-index writes, optionally sharded. Deterministic because
+/// every index writes only its own state.
+template <typename Fn>
+void sharded_apply(engine::Executor* pool, std::size_t cutoff, std::size_t n,
+                   Fn&& fn) {
+  if (pool == nullptr || n < cutoff) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  engine::parallel_for(*pool, n, fn);
+}
+
+}  // namespace
+
+Allocation max_min_allocate(const SimTopologyView& view,
+                            const std::vector<graphs::Path>& paths,
+                            const std::vector<double>& demand_bps,
+                            const AllocatorOptions& options) {
+  CISP_REQUIRE(paths.size() == demand_bps.size(),
+               "paths/demands size mismatch");
+  const std::size_t flows = paths.size();
+  const std::size_t edges = view.latency_graph.edge_count();
+  CISP_REQUIRE(view.capacity_bps.size() == edges, "view arrays inconsistent");
+
+  std::unique_ptr<engine::Executor> pool;
+  if (options.threads != 1 && flows >= options.parallel_cutoff) {
+    pool = std::make_unique<engine::Executor>(options.threads);
+  }
+
+  // Per-flow edge sequences and the edge -> flows incidence (freeze lists).
+  std::vector<std::vector<graphs::EdgeId>> flow_edges(flows);
+  std::vector<std::vector<std::uint32_t>> edge_flows(edges);
+  for (std::size_t f = 0; f < flows; ++f) {
+    CISP_REQUIRE(!paths[f].empty(), "flow is unroutable");
+    flow_edges[f] = path_edges(view.latency_graph, paths[f]);
+    for (const graphs::EdgeId eid : flow_edges[f]) {
+      edge_flows[eid].push_back(static_cast<std::uint32_t>(f));
+    }
+  }
+
+  Allocation out;
+  out.rate_bps.assign(flows, 0.0);
+  out.edge_load_bps.assign(edges, 0.0);
+
+  std::vector<char> active(flows, 1);
+  std::vector<double> cap_rem = view.capacity_bps;
+  std::vector<std::size_t> count(edges, 0);
+  std::size_t active_flows = 0;
+  for (std::size_t f = 0; f < flows; ++f) {
+    if (demand_bps[f] <= 0.0) {
+      active[f] = 0;
+      continue;
+    }
+    ++active_flows;
+    for (const graphs::EdgeId eid : flow_edges[f]) ++count[eid];
+  }
+
+  // Saturation slack: relative to each edge's capacity so Gbps-scale links
+  // and unit-test-scale links both converge.
+  const auto saturated = [&](std::size_t e) {
+    return count[e] > 0 && cap_rem[e] <= view.capacity_bps[e] * 1e-9;
+  };
+  const auto demand_met = [&](std::size_t f) {
+    return demand_bps[f] - out.rate_bps[f] <= demand_bps[f] * 1e-12;
+  };
+
+  std::vector<std::uint32_t> freeze;
+  const std::size_t cutoff = std::max<std::size_t>(1, options.parallel_cutoff);
+  while (active_flows > 0) {
+    ++out.rounds;
+    CISP_REQUIRE(out.rounds <= flows + edges + 1,
+                 "progressive filling failed to converge");
+
+    // The next event: an edge saturates or a flow reaches its demand.
+    const double h_edge = sharded_min(
+        pool.get(), cutoff, edges, [&](std::size_t e) {
+          return count[e] > 0 ? cap_rem[e] / static_cast<double>(count[e])
+                              : kInf;
+        });
+    const double h_demand = sharded_min(
+        pool.get(), cutoff, flows, [&](std::size_t f) {
+          return active[f] ? demand_bps[f] - out.rate_bps[f] : kInf;
+        });
+    const double h = std::max(0.0, std::min(h_edge, h_demand));
+    CISP_REQUIRE(h < kInf, "active flow with no constraining edge or demand");
+
+    // Raise the water level: per-slot writes, deterministic at any
+    // thread count.
+    sharded_apply(pool.get(), cutoff, flows, [&](std::size_t f) {
+      if (active[f]) out.rate_bps[f] += h;
+    });
+    sharded_apply(pool.get(), cutoff, edges, [&](std::size_t e) {
+      if (count[e] > 0) cap_rem[e] -= h * static_cast<double>(count[e]);
+    });
+
+    // Freeze bottlenecked flows (edges in index order, then their flows in
+    // incidence order) and demand-capped flows (flow index order). The
+    // mutation of `count` is serial so shared edges decrement exactly once
+    // per frozen flow.
+    freeze.clear();
+    for (std::size_t e = 0; e < edges; ++e) {
+      if (!saturated(e)) continue;
+      ++out.bottleneck_edges;
+      freeze.insert(freeze.end(), edge_flows[e].begin(), edge_flows[e].end());
+    }
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (active[f] && demand_met(f)) {
+        freeze.push_back(static_cast<std::uint32_t>(f));
+      }
+    }
+    CISP_REQUIRE(!freeze.empty(), "round froze no flow");
+    for (const std::uint32_t f : freeze) {
+      if (!active[f]) continue;
+      active[f] = 0;
+      --active_flows;
+      for (const graphs::EdgeId eid : flow_edges[f]) --count[eid];
+    }
+  }
+
+  // Edge loads from the final rates: per-edge sums over incidence lists in
+  // list order — independent writes, deterministic.
+  sharded_apply(pool.get(), cutoff, edges, [&](std::size_t e) {
+    double load = 0.0;
+    for (const std::uint32_t f : edge_flows[e]) load += out.rate_bps[f];
+    out.edge_load_bps[e] = load;
+  });
+  return out;
+}
+
+}  // namespace cisp::net::flow

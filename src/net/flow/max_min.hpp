@@ -1,0 +1,54 @@
+#pragma once
+// Max-min fair rate allocation over installed routes — the fluid
+// counterpart of running CBR sources through the packet simulator. The
+// classic progressive-filling algorithm: raise every unfrozen flow's rate
+// at the same water level; when a link saturates, freeze the flows
+// crossing it at their current rate (they are bottlenecked there); when a
+// flow reaches its offered demand, freeze it too (demand-capped max-min).
+// Terminates after at most flows + edges rounds.
+//
+// Determinism contract (mirrors the design solvers): the returned
+// allocation is byte-identical for EVERY thread count. The sharded pieces
+// are exact-min reductions (chunk minima merged serially) and
+// independent per-slot writes — no floating-point accumulation ever
+// depends on chunk boundaries.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/routing.hpp"
+
+namespace cisp::net::flow {
+
+struct AllocatorOptions {
+  /// Worker threads for the sharded allocation rounds. 1 = fully serial
+  /// (no pool is ever constructed); 0 = engine::default_thread_count().
+  std::size_t threads = 1;
+  /// Below this flow count the rounds run serially even with a pool —
+  /// queue traffic would cost more than it buys.
+  std::size_t parallel_cutoff = 4096;
+};
+
+struct Allocation {
+  /// Max-min fair rate per flow (same order as the input paths), bps.
+  /// Never exceeds the flow's offered demand.
+  std::vector<double> rate_bps;
+  /// Allocated load per graph edge, bps (sum of its flows' rates).
+  std::vector<double> edge_load_bps;
+  /// Progressive-filling rounds executed.
+  std::size_t rounds = 0;
+  /// Edges that saturated and froze at least one flow.
+  std::size_t bottleneck_edges = 0;
+};
+
+/// Computes the demand-capped max-min fair allocation of `demand_bps`
+/// flows over their (pinned) paths against the view's edge capacities.
+/// `paths[f]` must be routable; its edge sequence is taken from
+/// `paths[f].edges` when pinned (compute_routes pins them) and resolved
+/// via path_edges() otherwise.
+[[nodiscard]] Allocation max_min_allocate(
+    const SimTopologyView& view, const std::vector<graphs::Path>& paths,
+    const std::vector<double>& demand_bps,
+    const AllocatorOptions& options = {});
+
+}  // namespace cisp::net::flow

@@ -1,0 +1,82 @@
+#include "net/flow/monitors.hpp"
+
+#include <algorithm>
+
+#include "geo/latlon.hpp"
+#include "util/error.hpp"
+
+namespace cisp::net::flow {
+
+std::vector<PairOutcome> pair_outcomes(const SimTopologyView& view,
+                                       const std::vector<graphs::Path>& paths,
+                                       const DemandMatrix& demands,
+                                       const Allocation& allocation,
+                                       const DirectKmFn& direct_km) {
+  const auto& pairs = demands.pairs();
+  CISP_REQUIRE(paths.size() == pairs.size() &&
+                   allocation.rate_bps.size() == pairs.size(),
+               "paths/demands/allocation size mismatch");
+  std::vector<PairOutcome> out;
+  out.reserve(pairs.size());
+  for (std::size_t f = 0; f < pairs.size(); ++f) {
+    PairOutcome row;
+    row.src = pairs[f].src;
+    row.dst = pairs[f].dst;
+    row.users = pairs[f].users;
+    row.offered_bps = pairs[f].rate_bps;
+    row.delivered_bps = allocation.rate_bps[f];
+    for (const graphs::EdgeId eid : path_edges(view.latency_graph, paths[f])) {
+      row.latency_s += view.latency_graph.edge(eid).weight;
+    }
+    const double direct_s =
+        direct_km(row.src, row.dst) / geo::kSpeedOfLightKmPerS;
+    row.stretch = direct_s > 0.0 ? row.latency_s / direct_s : 1.0;
+    out.push_back(row);
+  }
+  return out;
+}
+
+FlowLevelStats summarize(const SimTopologyView& view,
+                         const std::vector<PairOutcome>& outcomes,
+                         const Allocation& allocation) {
+  FlowLevelStats stats;
+  stats.flows = outcomes.size();
+  stats.allocation_rounds = allocation.rounds;
+  double delay_acc = 0.0;
+  double stretch_acc = 0.0;
+  for (const PairOutcome& row : outcomes) {
+    stats.users += row.users;
+    stats.offered_bps += row.offered_bps;
+    stats.delivered_bps += row.delivered_bps;
+    delay_acc += row.latency_s * row.delivered_bps;
+    stretch_acc += row.stretch * row.delivered_bps;
+    stats.max_stretch = std::max(stats.max_stretch, row.stretch);
+  }
+  if (stats.delivered_bps > 0.0) {
+    stats.mean_delay_s = delay_acc / stats.delivered_bps;
+    stats.mean_stretch = stretch_acc / stats.delivered_bps;
+  }
+  if (stats.offered_bps > 0.0) {
+    stats.loss_rate =
+        std::max(0.0, 1.0 - stats.delivered_bps / stats.offered_bps);
+  }
+
+  CISP_REQUIRE(
+      allocation.edge_load_bps.size() == view.capacity_bps.size(),
+      "allocation/view size mismatch");
+  double util_acc = 0.0;
+  std::size_t loaded = 0;
+  for (std::size_t e = 0; e < allocation.edge_load_bps.size(); ++e) {
+    if (allocation.edge_load_bps[e] <= 0.0 || view.capacity_bps[e] <= 0.0) {
+      continue;
+    }
+    const double util = allocation.edge_load_bps[e] / view.capacity_bps[e];
+    util_acc += util;
+    ++loaded;
+    stats.max_link_utilization = std::max(stats.max_link_utilization, util);
+  }
+  if (loaded > 0) stats.mean_link_utilization = util_acc / loaded;
+  return stats;
+}
+
+}  // namespace cisp::net::flow

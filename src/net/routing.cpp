@@ -195,11 +195,23 @@ std::vector<graphs::Path> throughput_optimal_paths(
 
 }  // namespace
 
-RoutingResult install_routes(Network& network, const SimTopologyView& view,
+std::vector<graphs::EdgeId> path_edges(const graphs::Graph& graph,
+                                       const graphs::Path& path) {
+  std::vector<graphs::EdgeId> edges;
+  if (path.nodes.size() < 2) return edges;
+  const bool pinned = path.edges.size() + 1 == path.nodes.size();
+  edges.reserve(path.nodes.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    edges.push_back(pinned ? path.edges[i]
+                           : edge_between(graph, path.nodes[i],
+                                          path.nodes[i + 1]));
+  }
+  return edges;
+}
+
+RoutingResult compute_routes(const SimTopologyView& view,
                              const std::vector<TrafficDemand>& demands,
                              RoutingScheme scheme) {
-  CISP_REQUIRE(view.latency_graph.node_count() == network.node_count(),
-               "view/network size mismatch");
   CISP_REQUIRE(view.edge_to_link.size() == view.latency_graph.edge_count() &&
                    view.capacity_bps.size() == view.latency_graph.edge_count(),
                "view arrays inconsistent");
@@ -221,22 +233,15 @@ RoutingResult install_routes(Network& network, const SimTopologyView& view,
   double weighted_latency = 0.0;
   double total_rate = 0.0;
   for (std::size_t d = 0; d < demands.size(); ++d) {
-    const auto& path = result.paths[d];
+    auto& path = result.paths[d];
     CISP_REQUIRE(!path.empty(), "demand is unroutable");
-    const bool pinned = path.edges.size() + 1 == path.nodes.size();
+    auto edges = path_edges(view.latency_graph, path);
     double latency = 0.0;
-    for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
-      const auto eid =
-          pinned ? path.edges[i]
-                 : edge_between(view.latency_graph, path.nodes[i],
-                                path.nodes[i + 1]);
+    for (const graphs::EdgeId eid : edges) {
       latency += view.latency_graph.edge(eid).weight;
       load[eid] += demands[d].rate_bps;
-      // Install the route at the hop's source node.
-      network.node(path.nodes[i])
-          .set_route(demands[d].src, demands[d].dst,
-                     &network.link(view.edge_to_link[eid]));
     }
+    path.edges = std::move(edges);  // pin, so consumers never re-resolve
     weighted_latency += latency * demands[d].rate_bps;
     total_rate += demands[d].rate_bps;
   }
@@ -245,6 +250,24 @@ RoutingResult install_routes(Network& network, const SimTopologyView& view,
   for (std::size_t e = 0; e < load.size(); ++e) {
     result.max_link_utilization =
         std::max(result.max_link_utilization, load[e] / view.capacity_bps[e]);
+  }
+  return result;
+}
+
+RoutingResult install_routes(Network& network, const SimTopologyView& view,
+                             const std::vector<TrafficDemand>& demands,
+                             RoutingScheme scheme) {
+  CISP_REQUIRE(view.latency_graph.node_count() == network.node_count(),
+               "view/network size mismatch");
+  RoutingResult result = compute_routes(view, demands, scheme);
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    const auto& path = result.paths[d];
+    for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      // Install the route at the hop's source node.
+      network.node(path.nodes[i])
+          .set_route(demands[d].src, demands[d].dst,
+                     &network.link(view.edge_to_link[path.edges[i]]));
+    }
   }
   return result;
 }

@@ -39,12 +39,27 @@ struct RoutingResult {
   double mean_path_latency_s = 0.0;
   /// Predicted max link utilization when all demands run at full rate.
   double max_link_utilization = 0.0;
-  /// Paths per demand (same order as the input demand list).
+  /// Paths per demand (same order as the input demand list). Every path
+  /// has its graph-edge sequence pinned (paths.edges filled).
   std::vector<graphs::Path> paths;
 };
 
-/// Computes paths for all demands under `scheme` and installs next-hop
-/// routes into the network nodes. Every demand must be routable.
+/// Resolves the graph-edge sequence of a path: the pinned `path.edges`
+/// when present, otherwise the minimum-weight arc between each
+/// consecutive node pair. Throws when a hop has no edge.
+[[nodiscard]] std::vector<graphs::EdgeId> path_edges(
+    const graphs::Graph& graph, const graphs::Path& path);
+
+/// Computes paths for all demands under `scheme` over the routable view —
+/// no Network required, so both traffic backends share it (the flow
+/// backend feeds the paths straight into the max-min allocator). Every
+/// demand must be routable.
+[[nodiscard]] RoutingResult compute_routes(
+    const SimTopologyView& view, const std::vector<TrafficDemand>& demands,
+    RoutingScheme scheme);
+
+/// compute_routes + installs the per-(src,dst) next hops into the network
+/// nodes (the packet backend's wiring step).
 RoutingResult install_routes(Network& network, const SimTopologyView& view,
                              const std::vector<TrafficDemand>& demands,
                              RoutingScheme scheme);

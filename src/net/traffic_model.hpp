@@ -1,0 +1,102 @@
+#pragma once
+// The TrafficModel seam (§5): one interface over two ways of realizing a
+// demand matrix on a designed cISP.
+//
+//   Packet backend — the discrete-event simulator: UDP CBR sources, real
+//   queues, measured delay/loss. Fidelity reference; cost grows with the
+//   packet count, capping instances at thousands of endpoints.
+//
+//   Flow backend — fluid max-min fair rate allocation over the same
+//   topology and routes (src/net/flow/): no per-packet state, so
+//   millions of aggregated users fit in memory. Latency is analytic path
+//   propagation; loss is the unserved demand fraction.
+//
+// Both backends load the SAME DemandMatrix over the SAME LinkPlan and
+// routing scheme, which is the fidelity contract the flow tests pin down:
+// on instances small enough for packets, the backends agree on mean
+// delay/stretch within a documented tolerance (queueing + serialization
+// below saturation are the residual).
+
+#include <memory>
+#include <string_view>
+
+#include "net/builder.hpp"
+#include "net/flow/demand_matrix.hpp"
+#include "net/flow/monitors.hpp"
+
+namespace cisp::net {
+
+enum class TrafficBackend {
+  Packet,
+  Flow,
+};
+
+[[nodiscard]] const char* to_string(TrafficBackend backend);
+/// Parses "packet" / "flow"; throws cisp::Error on anything else.
+[[nodiscard]] TrafficBackend parse_traffic_backend(std::string_view text);
+
+/// Knobs for one traffic evaluation through the seam.
+struct TrafficRunOptions {
+  RoutingScheme scheme = RoutingScheme::ShortestPath;
+  /// Packet backend: sources emit over [0, sim_duration_s], then the
+  /// simulator drains in-flight packets for drain_s more.
+  double sim_duration_s = 0.3;
+  double drain_s = 0.2;
+  std::uint64_t seed = 0;
+  /// Flow backend: allocator sharding (1 = serial; 0 = all cores; the
+  /// allocation is byte-identical for every value).
+  std::size_t threads = 1;
+};
+
+/// Backend-comparable summary of one run. Packet fills measured
+/// delay/loss; flow fills their analytic equivalents. Stretch is always
+/// latency over the direct geodesic latency at c.
+struct TrafficStats {
+  TrafficBackend backend = TrafficBackend::Packet;
+  std::size_t flows = 0;
+  std::uint64_t users = 0;
+  double offered_bps = 0.0;
+  double delivered_bps = 0.0;
+  double loss_rate = 0.0;
+  double mean_delay_s = 0.0;
+  double mean_stretch = 0.0;
+  double max_stretch = 0.0;
+  /// Realized load/capacity over loaded edges (flow backend; zero for
+  /// packet, which reports only the offered-load prediction below).
+  double mean_link_utilization = 0.0;
+  double max_link_utilization = 0.0;
+  /// Offline routing predictions at offered load (both backends).
+  double mean_path_latency_s = 0.0;
+  double predicted_max_utilization = 0.0;
+  /// Progressive-filling rounds (flow backend only).
+  std::size_t allocation_rounds = 0;
+};
+
+/// Stats plus the per-city-pair breakdown (latency/stretch/served rate per
+/// aggregated pair, in demand-matrix order).
+struct TrafficReport {
+  TrafficStats stats;
+  std::vector<flow::PairOutcome> pairs;
+};
+
+/// One backend bound to a designed topology. The referenced input/plan
+/// must outlive the model (experiments own both for the duration anyway).
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+  [[nodiscard]] virtual TrafficBackend backend() const noexcept = 0;
+  /// Realizes the demand matrix on the topology and reports what traffic
+  /// experienced. Stateless across calls: every run rebuilds its
+  /// substrate, so models are safe to reuse across sweep cells.
+  [[nodiscard]] virtual TrafficReport run(
+      const flow::DemandMatrix& demands,
+      const TrafficRunOptions& options) = 0;
+};
+
+/// Factory over the backends. Construction is cheap; the substrate is
+/// built per run.
+[[nodiscard]] std::unique_ptr<TrafficModel> make_traffic_model(
+    TrafficBackend backend, const design::DesignInput& input,
+    const design::CapacityPlan& plan, const BuildOptions& build = {});
+
+}  // namespace cisp::net

@@ -6,14 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <limits>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "engine/diff.hpp"
 #include "engine/experiment.hpp"
 #include "engine/report.hpp"
 #include "engine/result.hpp"
@@ -373,6 +376,112 @@ TEST(Cache, CorruptEntryIsIgnoredAndRecomputed) {
       run_experiment("unit_cache_probe", options, log);
   EXPECT_FALSE(after_bad_tag.cache_hit);
   EXPECT_EQ(g_probe_executions.load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// diff: cell-by-cell ResultSet comparison
+// ---------------------------------------------------------------------------
+
+TEST(Diff, IdenticalSetsHaveNoDifferences) {
+  const DiffReport report = diff_result_sets(sample_set(), sample_set());
+  EXPECT_TRUE(report.identical());
+  EXPECT_GT(report.cells_compared, 0u);
+  EXPECT_EQ(report.differing_cells, 0u);
+}
+
+TEST(Diff, RealCellsRespectTolerance) {
+  ResultSet a;
+  a.add_table("t", "T", {"x"}).row({Value::real(1.000, 3)});
+  ResultSet b;
+  b.add_table("t", "T", {"x"}).row({Value::real(1.004, 3)});
+
+  EXPECT_FALSE(diff_result_sets(a, b).identical());
+  DiffOptions absolute;
+  absolute.abs_tolerance = 0.01;
+  EXPECT_TRUE(diff_result_sets(a, b, absolute).identical());
+  DiffOptions relative;
+  relative.rel_tolerance = 0.01;
+  EXPECT_TRUE(diff_result_sets(a, b, relative).identical());
+}
+
+TEST(Diff, NonFiniteCellsNeverMatchFiniteOnes) {
+  // inf * rel_tolerance must not swallow a finite counterpart; same-value
+  // non-finite cells still compare equal.
+  const double inf = std::numeric_limits<double>::infinity();
+  ResultSet a;
+  a.add_table("t", "T", {"x", "y"})
+      .row({Value::real(inf, 3), Value::real(inf, 3)});
+  ResultSet b;
+  b.add_table("t", "T", {"x", "y"})
+      .row({Value::real(1.0, 3), Value::real(inf, 3)});
+  DiffOptions generous;
+  generous.rel_tolerance = 0.5;
+  generous.abs_tolerance = 1e9;
+  const DiffReport report = diff_result_sets(a, b, generous);
+  EXPECT_EQ(report.differing_cells, 1u);  // x differs, y (inf vs inf) matches
+
+  ResultSet c;
+  c.add_table("t", "T", {"x", "y"})
+      .row({Value::real(-inf, 3), Value::real(inf, 3)});
+  EXPECT_EQ(diff_result_sets(a, c, generous).differing_cells, 1u);
+}
+
+TEST(Diff, ReportsStructuralAndCellMismatches) {
+  ResultSet a;
+  a.add_table("shared", "S", {"x", "label"})
+      .row({Value::real(1.0, 2), "same"});
+  a.add_table("only_a", "A", {"x"}).row({1});
+  ResultSet b;
+  b.add_table("shared", "S", {"x", "label"})
+      .row({Value::real(2.0, 2), "same"});
+
+  const DiffReport report = diff_result_sets(a, b);
+  ASSERT_EQ(report.structural.size(), 1u);
+  EXPECT_NE(report.structural[0].find("only_a"), std::string::npos);
+  EXPECT_EQ(report.differing_cells, 1u);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_NE(report.cells[0].location.find("shared[0][0]"),
+            std::string::npos);
+  // Integer/text cells always compare exactly, reals by kind first.
+  ResultSet c;
+  c.add_table("shared", "S", {"x", "label"}).row({1, "same"});
+  EXPECT_FALSE(diff_result_sets(a, c).identical());
+}
+
+TEST(DiffCli, ComparesCachedRunsEndToEnd) {
+  // Two cached runs of the echo fixture with different x: the diff
+  // subcommand must resolve name prefixes in --cache-dir, exit nonzero on
+  // the difference, and pass under a generous tolerance.
+  TempDir dir("cisp-diff-cli");
+  ASSERT_EQ(cli({"run", "unit_param_echo", "--cache-dir", dir.path,
+                 "--set", "x=1.0"}),
+            0);
+  ASSERT_EQ(cli({"run", "unit_param_echo", "--cache-dir", dir.path,
+                 "--set", "x=1.5"}),
+            0);
+  std::vector<std::string> entries;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    entries.push_back(entry.path().string());
+  }
+  ASSERT_EQ(entries.size(), 2u);
+  std::sort(entries.begin(), entries.end());
+
+  std::string out;
+  EXPECT_EQ(cli({"diff", entries[0], entries[1]}, &out), 1);
+  EXPECT_NE(out.find("1 differ"), std::string::npos);
+  EXPECT_EQ(cli({"diff", entries[0], entries[1], "--tolerance", "1"}, &out),
+            0);
+  EXPECT_NE(out.find("identical within tolerance"), std::string::npos);
+  // A file diffed against itself is identical with zero tolerance.
+  EXPECT_EQ(cli({"diff", entries[0], entries[0]}), 0);
+  // Prefix resolution: unique prefixes resolve inside --cache-dir; the
+  // shared experiment-name prefix is ambiguous.
+  std::string err;
+  EXPECT_EQ(cli({"diff", "unit_param_echo", "unit_param_echo",
+                 "--cache-dir", dir.path},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("ambiguous"), std::string::npos);
 }
 
 TEST(RunnerCli, CsvOutputIsIdenticalAcrossThreadCounts) {

@@ -1,0 +1,180 @@
+// backend_fairness: the three traffic backends on MATCHED demands. One
+// cISP is designed and provisioned for the fig11 4:3:3 application blend
+// (city-city : city-DC : DC-DC); the same user-apportioned demand matrix
+// — optionally re-blended to a deviating mix via the scenario generators —
+// is then realized by the packet DES, the max-min fluid allocator and the
+// weighted alpha-fair elastic allocator at several load points. Reports
+// served fraction, delay, stretch and the Jain fairness index of per-pair
+// served fractions, the quantity the fairness semantics differ on: max-min
+// equalizes bottleneck shares, proportional fairness trades long-path
+// pairs for aggregate throughput, packets approximate neither exactly.
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+namespace {
+using namespace cisp;
+
+/// "4:3:3" -> {4, 3, 3}.
+std::vector<double> parse_mix(const std::string& text) {
+  std::vector<double> weights;
+  for (const std::string& token : bench::split_list(text, ':')) {
+    CISP_REQUIRE(!token.empty(), "empty component in mix '" + text + "'");
+    char* parsed_end = nullptr;
+    const double w = std::strtod(token.c_str(), &parsed_end);
+    CISP_REQUIRE(parsed_end == token.c_str() + token.size() && w >= 0.0,
+                 "bad mix component '" + token + "'");
+    weights.push_back(w);
+  }
+  CISP_REQUIRE(weights.size() == 3,
+               "mix must be city-city:city-DC:DC-DC, e.g. 4:3:3");
+  return weights;
+}
+
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const auto backends =
+      bench::traffic_backend_list(ctx, "packet,flow,elastic");
+  const auto users = static_cast<std::uint64_t>(ctx.params.integer(
+      "users", bench::pick(ctx, 200000, 50000)));
+  const double alpha = ctx.params.real("alpha", 1.0);
+  const auto mix = parse_mix(ctx.params.text("mix", "4:3:3"));
+  const auto centers = static_cast<std::size_t>(
+      ctx.params.integer("centers", bench::pick(ctx, 30, 15)));
+  const double budget = ctx.params.real("budget", 3000.0);
+
+  // Design and provision for the paper's 4:3:3 blend; the loaded mix may
+  // deviate (the fig11 question, now asked per backend).
+  const auto scenario = bench::us_scenario(ctx);
+  const auto designed =
+      design::mixed_problem(scenario, budget, 4.0, 3.0, 3.0, centers);
+  const auto topo = design::solve_greedy(designed.input);
+  design::CapacityParams cap;
+  cap.aggregate_gbps = 100.0;
+  const auto plan = design::plan_capacity(designed.input, topo, designed.links,
+                                          scenario.tower_graph.towers, cap);
+
+  // The fig11 application-class matrices over the SAME site set as the
+  // design, blended to the loaded mix.
+  const auto classes = design::mixed_traffic_classes(scenario, centers);
+  CISP_REQUIRE(classes.sites.size() == designed.input.site_count(),
+               "class site set diverged from the design");
+  const auto traffic = net::scenario::blend_traffic(classes.matrices, mix);
+
+  // Matched demands: every backend realizes the SAME user-apportioned
+  // matrix; capacities and demands scale together so the packet DES stays
+  // affordable while utilization — the compared quantity — is preserved.
+  net::BuildOptions build;
+  build.mw_queue_packets = 100;
+  build.rate_scale = bench::pick(ctx, 0.05, 0.02);
+  const double sim_s = bench::pick(ctx, 0.3, 0.12);
+
+  // The k^2 provisioning leaves ~2x headroom past the design aggregate
+  // (the fig05 finding: loss onset sits near/above 100%), so the top load
+  // points deliberately overshoot to expose the backends' sharing
+  // semantics under real scarcity.
+  std::vector<double> loads{50.0, 150.0, 300.0};
+
+  struct Cell {
+    net::TrafficReport report;
+  };
+
+  engine::Grid grid;
+  grid.axis("load", loads).index_axis("backend", backends.size());
+  const auto sweep = engine::run_sweep(
+      grid,
+      [&](const engine::Point& point) {
+        const double load = point.value("load");
+        const double offered_bps =
+            cap.aggregate_gbps * 1e9 * load / 100.0;
+        const auto demands = net::flow::DemandMatrix::from_users(
+            traffic, users, offered_bps / static_cast<double>(users),
+            build.rate_scale);
+        const auto backend = backends[point.index("backend")];
+        const auto model =
+            net::make_traffic_model(backend, designed.input, plan, build);
+        net::TrafficRunOptions run_options;
+        run_options.sim_duration_s = sim_s;
+        run_options.seed = 33;
+        run_options.alpha = alpha;
+        return Cell{model->run(demands, run_options)};
+      },
+      {.threads = ctx.threads});
+
+  engine::ResultSet results;
+  results.note("design: stretch=" + fmt(topo.mean_stretch, 3) +
+               " mw_links=" + std::to_string(plan.links.size()) +
+               " mix=" + ctx.params.text("mix", "4:3:3") +
+               " users=" + std::to_string(users) + " alpha=" + fmt(alpha, 2));
+
+  auto& table = results.add_table(
+      "backend_fairness",
+      "Backend fairness: matched demands through packet / max-min / "
+      "alpha-fair",
+      {"load_%", "backend", "served_%", "mean_delay_ms", "mean_stretch",
+       "p99_pair_stretch", "jain_served", "alloc_rounds"});
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+      const auto& report = sweep.at(l * backends.size() + b).report;
+      Samples pair_stretch;
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      std::size_t pairs = 0;
+      for (const auto& pair : report.pairs) {
+        pair_stretch.add(pair.stretch);
+        if (pair.offered_bps <= 0.0) continue;
+        const double served =
+            std::min(1.0, pair.delivered_bps / pair.offered_bps);
+        sum += served;
+        sum_sq += served * served;
+        ++pairs;
+      }
+      const double jain =
+          sum_sq > 0.0 ? sum * sum / (static_cast<double>(pairs) * sum_sq)
+                       : 1.0;
+      const double served_total =
+          report.stats.offered_bps > 0.0
+              ? report.stats.delivered_bps / report.stats.offered_bps * 100.0
+              : 0.0;
+      table.row(
+          {static_cast<std::int64_t>(loads[l]),
+           net::to_string(backends[b]),
+           engine::Value::real(served_total, 2),
+           engine::Value::real(report.stats.mean_delay_s * 1000.0, 3),
+           engine::Value::real(report.stats.mean_stretch, 3),
+           engine::Value::real(
+               pair_stretch.empty() ? 0.0 : pair_stretch.percentile(99.0), 3),
+           engine::Value::real(jain, 4),
+           static_cast<std::int64_t>(report.stats.allocation_rounds)});
+    }
+  }
+  results.note(
+      "Expected shape: below capacity all backends serve ~100% with "
+      "matching\ndelay/stretch (the fidelity contract). Past saturation "
+      "they diverge:\nmax-min keeps Jain near 1 by equalizing bottleneck "
+      "shares, proportional\nfairness (alpha=1) throttles multi-hop pairs "
+      "harder for more aggregate\nthroughput, and the packet DES sheds "
+      "load by queue overflow wherever it\nhappens to build up.");
+  return results;
+}
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "backend_fairness",
+     .description =
+         "Max-min vs alpha-fair vs packet on matched demands",
+     .tags = {"bench", "simulation", "scenario", "sweep"},
+     .params = {{"users", "200000 (50000 in fast mode)",
+                 "endpoints apportioned across pairs (elastic weights "
+                 "pairs by user count)"},
+                {"mix", "4:3:3",
+                 "loaded city-city:city-DC:DC-DC blend (design stays "
+                 "4:3:3)"},
+                {"centers", "30 (15 in fast mode)",
+                 "population centers in the design problem"},
+                {"budget", "3000", "tower budget for the design"},
+                bench::alpha_param(),
+                bench::traffic_backend_param("packet,flow,elastic")}},
+    run};
+
+}  // namespace

@@ -28,6 +28,21 @@ inline design::Scenario eu_scenario(const engine::ExperimentContext& ctx,
   return design::build_europe_scenario(options);
 }
 
+/// Splits on a single-character delimiter, keeping empty tokens (callers
+/// decide whether those are errors or skippable).
+inline std::vector<std::string> split_list(const std::string& text,
+                                           char delim) {
+  std::vector<std::string> tokens;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(delim, begin);
+    if (end == std::string::npos) end = text.size();
+    tokens.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return tokens;
+}
+
 /// Scales a sweep count down in fast mode.
 inline int pick(const engine::ExperimentContext& ctx, int full, int fast) {
   return ctx.fast ? fast : full;
@@ -50,8 +65,16 @@ inline std::size_t pick(const engine::ExperimentContext& ctx,
 inline engine::ParamSpec traffic_backend_param(
     std::string default_value = "packet") {
   return {"traffic_backend", std::move(default_value),
-          "traffic realization backend: packet (DES) or flow (fluid "
-          "max-min rate allocation)"};
+          "traffic realization backend: packet (DES), flow (fluid max-min "
+          "rate allocation) or elastic (fluid weighted alpha-fair)"};
+}
+
+/// The declared `alpha` tunable of the elastic backend (1 = proportional
+/// fairness; >= 64 recovers max-min exactly).
+inline engine::ParamSpec alpha_param() {
+  return {"alpha", "1",
+          "elastic backend fairness exponent (1 = proportional fairness, "
+          ">= 64 = max-min limit)"};
 }
 
 inline net::TrafficBackend traffic_backend(const engine::ExperimentContext& ctx,
@@ -60,13 +83,59 @@ inline net::TrafficBackend traffic_backend(const engine::ExperimentContext& ctx,
       ctx.params.text("traffic_backend", fallback));
 }
 
+/// Comma-separated backend list (the scenario experiments compare several
+/// backends side by side on one grid axis): "flow,elastic" -> {Flow,
+/// Elastic}.
+inline std::vector<net::TrafficBackend> traffic_backend_list(
+    const engine::ExperimentContext& ctx, const char* fallback) {
+  std::vector<net::TrafficBackend> backends;
+  for (const std::string& token :
+       split_list(ctx.params.text("traffic_backend", fallback), ',')) {
+    if (!token.empty()) {
+      backends.push_back(net::parse_traffic_backend(token));
+    }
+  }
+  CISP_REQUIRE(!backends.empty(), "traffic_backend list is empty");
+  return backends;
+}
+
+/// One designed-and-provisioned US city-city instance plus the
+/// population-product traffic over its (trimmed) centers — the setup every
+/// scale/scenario experiment repeats before loading traffic.
+struct DesignedInstance {
+  design::SiteProblem problem;
+  design::Topology topo;
+  design::CapacityPlan plan;
+  std::vector<infra::PopulationCenter> centers;  ///< trimmed to the problem
+  std::vector<std::vector<double>> traffic;
+};
+
+inline DesignedInstance designed_instance(const engine::ExperimentContext& ctx,
+                                          double budget, std::size_t centers,
+                                          double aggregate_gbps = 100.0) {
+  design::Scenario scenario = us_scenario(ctx);
+  design::SiteProblem problem =
+      design::city_city_problem(scenario, budget, centers);
+  design::Topology topo = design::solve_greedy(problem.input);
+  design::CapacityParams cap;
+  cap.aggregate_gbps = aggregate_gbps;
+  design::CapacityPlan plan = design::plan_capacity(
+      problem.input, topo, problem.links, scenario.tower_graph.towers, cap);
+  std::vector<infra::PopulationCenter> pcs = scenario.centers;
+  if (pcs.size() > centers) pcs.resize(centers);
+  auto traffic = infra::population_product_traffic(pcs);
+  return {std::move(problem), std::move(topo), std::move(plan),
+          std::move(pcs), std::move(traffic)};
+}
+
 /// Per-cell knobs for run_traffic_cell.
 struct TrafficCell {
   net::RoutingScheme scheme = net::RoutingScheme::ShortestPath;
   double aggregate_gbps = 100.0;
   double sim_s = 0.3;          ///< packet backend: source emission window
   std::uint64_t seed = 0;      ///< packet backend: source phase seed
-  std::size_t threads = 1;     ///< flow backend: allocator sharding
+  std::size_t threads = 1;     ///< fluid backends: allocator sharding
+  double alpha = 1.0;          ///< elastic backend: fairness exponent
 };
 
 /// One traffic evaluation through the TrafficModel seam — the
@@ -84,6 +153,7 @@ inline net::TrafficStats run_traffic_cell(
   run.sim_duration_s = cell.sim_s;
   run.seed = cell.seed;
   run.threads = cell.threads;
+  run.alpha = cell.alpha;
   return model->run(demands, run).stats;
 }
 
@@ -98,17 +168,8 @@ struct AugmentationMeasurement {
 
 inline AugmentationMeasurement measure_augmentation(
     const engine::ExperimentContext& ctx, net::TrafficBackend backend) {
-  const auto scenario = us_scenario(ctx);
   const auto centers = static_cast<std::size_t>(pick(ctx, 30, 15));
-  const auto problem = design::city_city_problem(scenario, 2000.0, centers);
-  const auto topo = design::solve_greedy(problem.input);
-  design::CapacityParams cap;
-  cap.aggregate_gbps = 100.0;
-  const auto plan = design::plan_capacity(problem.input, topo, problem.links,
-                                          scenario.tower_graph.towers, cap);
-  std::vector<infra::PopulationCenter> pcs = scenario.centers;
-  if (pcs.size() > centers) pcs.resize(centers);
-  const auto traffic = infra::population_product_traffic(pcs);
+  const auto instance = designed_instance(ctx, 2000.0, centers);
 
   net::BuildOptions build;
   build.rate_scale = pick(ctx, 0.05, 0.02);
@@ -119,11 +180,12 @@ inline AugmentationMeasurement measure_augmentation(
   cell.aggregate_gbps = 50.0;
 
   AugmentationMeasurement out;
-  out.cisp =
-      run_traffic_cell(backend, problem.input, plan, build, traffic, cell);
+  out.cisp = run_traffic_cell(backend, instance.problem.input, instance.plan,
+                              build, instance.traffic, cell);
   const design::CapacityPlan fiber_only;  // no MW links: the conventional net
-  out.conventional = run_traffic_cell(backend, problem.input, fiber_only,
-                                      build, traffic, cell);
+  out.conventional =
+      run_traffic_cell(backend, instance.problem.input, fiber_only, build,
+                       instance.traffic, cell);
   out.factor = apps::augmentation_factor(out.cisp, out.conventional);
   return out;
 }

@@ -136,9 +136,9 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
          engine::Value::real(stats.mean_stretch, 3),
          engine::Value::real(served, 1),
          engine::Value::real(
-             stats.backend == net::TrafficBackend::Flow
-                 ? stats.max_link_utilization
-                 : stats.predicted_max_utilization,
+             stats.backend == net::TrafficBackend::Packet
+                 ? stats.predicted_max_utilization
+                 : stats.max_link_utilization,
              2)});
   }
   results.note(

@@ -317,6 +317,27 @@ BENCHMARK(BM_FlowAllocator)
     ->Arg(1000000)
     ->Unit(benchmark::kMillisecond);
 
+// The elastic (alpha-fair) backend on the same instance: the dual-ascent
+// iteration cost against the single progressive filling of max-min.
+void BM_ElasticAllocator(benchmark::State& state) {
+  const auto& instance = flow_bench_instance();
+  const auto users = static_cast<std::uint64_t>(state.range(0));
+  const auto demands =
+      net::flow::DemandMatrix::from_users(instance.traffic, users, 1e5);
+  const auto model = net::make_traffic_model(
+      net::TrafficBackend::Elastic, instance.input, instance.plan);
+  net::TrafficRunOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->run(demands, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(users));
+}
+BENCHMARK(BM_ElasticAllocator)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
 // Packet vs flow at a matched scenario size: the same demand matrix and
 // substrate realized by each backend (packet pays per-packet event cost
 // over a 50 ms window; flow pays one allocation).

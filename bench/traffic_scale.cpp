@@ -25,22 +25,13 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
   const auto centers = static_cast<std::size_t>(
       ctx.params.integer("centers", bench::pick(ctx, 40, 25)));
   CISP_REQUIRE(max_users >= 1000, "users must be at least 1000");
-  CISP_REQUIRE(backend == net::TrafficBackend::Flow || max_users <= 50000,
+  CISP_REQUIRE(backend != net::TrafficBackend::Packet || max_users <= 50000,
                "packet backend is capped at 5e4 endpoints — use "
-               "--set traffic_backend=flow for larger scales");
+               "--set traffic_backend=flow (or elastic) for larger scales");
 
-  const auto scenario = bench::us_scenario(ctx);
-  const auto problem = design::city_city_problem(
-      scenario, ctx.params.real("budget", 3000.0), centers);
-  const auto topo = design::solve_greedy(problem.input);
-  design::CapacityParams cap;
-  cap.aggregate_gbps = 100.0;
-  const auto plan = design::plan_capacity(problem.input, topo, problem.links,
-                                          scenario.tower_graph.towers, cap);
-
-  std::vector<infra::PopulationCenter> pcs = scenario.centers;
-  if (pcs.size() > centers) pcs.resize(centers);
-  const auto traffic = infra::population_product_traffic(pcs);
+  constexpr double kAggregateGbps = 100.0;
+  const auto instance = bench::designed_instance(
+      ctx, ctx.params.real("budget", 3000.0), centers, kAggregateGbps);
 
   std::vector<double> scales;
   for (std::uint64_t users = 1000; users < max_users; users *= 10) {
@@ -55,8 +46,8 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
   // so there is nothing to thin out.
   net::BuildOptions build;
   build.rate_scale =
-      backend == net::TrafficBackend::Flow ? 1.0 : bench::pick(ctx, 0.05,
-                                                               0.02);
+      backend == net::TrafficBackend::Packet ? bench::pick(ctx, 0.05, 0.02)
+                                             : 1.0;
   const double load_pct = ctx.params.real("load", 70.0);
 
   engine::Grid grid;
@@ -66,15 +57,16 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
       [&](const engine::Point& point) {
         const auto users = static_cast<std::uint64_t>(point.value("users"));
         const double load_cap_bps =
-            cap.aggregate_gbps * 1e9 * load_pct / 100.0;
+            kAggregateGbps * 1e9 * load_pct / 100.0;
         const double offered_bps = std::min(
             static_cast<double>(users) * per_user_kbps * 1e3, load_cap_bps);
         const double per_user_bps =
             offered_bps / static_cast<double>(users) * build.rate_scale;
         const auto demands = net::flow::DemandMatrix::from_users(
-            traffic, users, per_user_bps);
+            instance.traffic, users, per_user_bps);
         const auto model =
-            net::make_traffic_model(backend, problem.input, plan, build);
+            net::make_traffic_model(backend, instance.problem.input,
+                                    instance.plan, build);
         net::TrafficRunOptions run_options;
         run_options.sim_duration_s = bench::pick(ctx, 0.2, 0.1);
         run_options.seed = 21;
@@ -84,8 +76,8 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
       {.threads = 1});  // cells share ctx.threads inside the allocator
 
   engine::ResultSet results;
-  results.note("design: stretch=" + fmt(topo.mean_stretch, 3) +
-               " mw_links=" + std::to_string(plan.links.size()) +
+  results.note("design: stretch=" + fmt(instance.topo.mean_stretch, 3) +
+               " mw_links=" + std::to_string(instance.plan.links.size()) +
                " backend=" + net::to_string(backend));
 
   auto& table = results.add_table(
@@ -103,7 +95,10 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
             : 0.0;
     table.row({static_cast<std::int64_t>(report.stats.users),
                static_cast<std::int64_t>(report.stats.flows),
-               engine::Value::real(report.stats.offered_bps / 1e9, 2),
+               // Un-thin the packet backend's rate_scale so the offered
+               // column is comparable across backends and to `load`.
+               engine::Value::real(
+                   report.stats.offered_bps / 1e9 / build.rate_scale, 2),
                engine::Value::real(served, 2),
                engine::Value::real(report.stats.mean_delay_s * 1000.0, 3),
                engine::Value::real(report.stats.mean_stretch, 3),
@@ -111,9 +106,9 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
                    pair_stretch.empty() ? 0.0 : pair_stretch.percentile(95.0),
                    3),
                engine::Value::real(
-                   backend == net::TrafficBackend::Flow
-                       ? report.stats.max_link_utilization
-                       : report.stats.predicted_max_utilization,
+                   backend == net::TrafficBackend::Packet
+                       ? report.stats.predicted_max_utilization
+                       : report.stats.max_link_utilization,
                    2),
                static_cast<std::int64_t>(report.stats.allocation_rounds)});
   }
@@ -140,11 +135,12 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
     const double served = pair.offered_bps > 0.0
                               ? pair.delivered_bps / pair.offered_bps * 100.0
                               : 0.0;
+    const auto& names = instance.problem.names;
     pairs_table.row(
-        {pair.src < problem.names.size() ? problem.names[pair.src]
-                                         : std::to_string(pair.src),
-         pair.dst < problem.names.size() ? problem.names[pair.dst]
-                                         : std::to_string(pair.dst),
+        {pair.src < names.size() ? names[pair.src]
+                                 : std::to_string(pair.src),
+         pair.dst < names.size() ? names[pair.dst]
+                                 : std::to_string(pair.dst),
          static_cast<std::int64_t>(pair.users),
          engine::Value::real(pair.latency_s * 1000.0, 3),
          engine::Value::real(pair.stretch, 3),

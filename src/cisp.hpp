@@ -47,6 +47,9 @@
 #include "infra/towers.hpp"     // IWYU pragma: export
 #include "lp/milp.hpp"          // IWYU pragma: export
 #include "net/builder.hpp"      // IWYU pragma: export
+#include "net/flow/alpha_fair.hpp"  // IWYU pragma: export
+#include "net/scenario/demand_scenario.hpp"  // IWYU pragma: export
+#include "net/scenario/failure_model.hpp"    // IWYU pragma: export
 #include "net/tcp.hpp"          // IWYU pragma: export
 #include "net/traffic_model.hpp"  // IWYU pragma: export
 #include "rf/fresnel.hpp"       // IWYU pragma: export

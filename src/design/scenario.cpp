@@ -193,16 +193,13 @@ SiteProblem city_dc_problem(const Scenario& scenario, double budget_towers,
                       std::move(traffic), budget_towers);
 }
 
-SiteProblem mixed_problem(const Scenario& scenario, double budget_towers,
-                          double w_city_city, double w_city_dc, double w_dc_dc,
-                          std::size_t max_centers) {
-  CISP_REQUIRE(w_city_city >= 0 && w_city_dc >= 0 && w_dc_dc >= 0,
-               "negative traffic mix weight");
+TrafficClasses mixed_traffic_classes(const Scenario& scenario,
+                                     std::size_t max_centers) {
   auto [names, sites, n_centers] = centers_plus_dcs(scenario, max_centers);
   const std::size_t n = sites.size();
 
-  // Each block is normalized to sum 1, then weighted — so the weights are
-  // the aggregate traffic shares of the three classes (§6.4's 4:3:3).
+  // Each block is normalized to sum 1, so blend weights are the aggregate
+  // traffic shares of the three classes (§6.4's 4:3:3).
   const auto normalize_sum = [](std::vector<std::vector<double>>& m) {
     double sum = 0.0;
     for (const auto& row : m) {
@@ -233,12 +230,29 @@ SiteProblem mixed_problem(const Scenario& scenario, double budget_towers,
   normalize_sum(cd);
   normalize_sum(dc_dc);
 
+  TrafficClasses out;
+  out.names = std::move(names);
+  out.sites = std::move(sites);
+  out.n_centers = n_centers;
+  out.matrices = {std::move(city_city), std::move(cd), std::move(dc_dc)};
+  return out;
+}
+
+SiteProblem mixed_problem(const Scenario& scenario, double budget_towers,
+                          double w_city_city, double w_city_dc, double w_dc_dc,
+                          std::size_t max_centers) {
+  CISP_REQUIRE(w_city_city >= 0 && w_city_dc >= 0 && w_dc_dc >= 0,
+               "negative traffic mix weight");
+  TrafficClasses classes = mixed_traffic_classes(scenario, max_centers);
+  const std::size_t n = classes.sites.size();
+
   std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
   double max_entry = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      traffic[i][j] = w_city_city * city_city[i][j] + w_city_dc * cd[i][j] +
-                      w_dc_dc * dc_dc[i][j];
+      traffic[i][j] = w_city_city * classes.matrices[0][i][j] +
+                      w_city_dc * classes.matrices[1][i][j] +
+                      w_dc_dc * classes.matrices[2][i][j];
       max_entry = std::max(max_entry, traffic[i][j]);
     }
   }
@@ -246,8 +260,9 @@ SiteProblem mixed_problem(const Scenario& scenario, double budget_towers,
   for (auto& row : traffic) {
     for (double& v : row) v /= max_entry;
   }
-  return make_problem(scenario, std::move(names), std::move(sites),
-                      std::move(traffic), budget_towers);
+  return make_problem(scenario, std::move(classes.names),
+                      std::move(classes.sites), std::move(traffic),
+                      budget_towers);
 }
 
 }  // namespace cisp::design

@@ -80,6 +80,20 @@ struct SiteProblem {
                                         double w_dc_dc,
                                         std::size_t max_centers = 0);
 
+/// The §6.4 application-class traffic matrices over the mixed site set
+/// (centers + DCs): city-city, city-DC, DC-DC in that order, each
+/// normalized to sum 1 — exactly the blocks mixed_problem blends. Exposed
+/// so experiments can re-blend deviating mixes (scenario::blend_traffic)
+/// without constructing a full design problem per class.
+struct TrafficClasses {
+  std::vector<std::string> names;
+  std::vector<geo::LatLon> sites;
+  std::size_t n_centers = 0;  ///< sites[0..n_centers) are the city centers
+  std::vector<std::vector<std::vector<double>>> matrices;
+};
+[[nodiscard]] TrafficClasses mixed_traffic_classes(const Scenario& scenario,
+                                                   std::size_t max_centers = 0);
+
 /// Assembles a SiteProblem from explicit sites + traffic (shared plumbing;
 /// exposed for custom experiments).
 [[nodiscard]] SiteProblem make_problem(const Scenario& scenario,

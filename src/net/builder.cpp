@@ -85,8 +85,10 @@ TopologyView view_from_plan(const LinkPlan& plan) {
 SimInstance build_sim(const design::DesignInput& input,
                       const design::CapacityPlan& plan,
                       const BuildOptions& options) {
-  const LinkPlan links = plan_links(input, plan, options);
+  return build_sim_from_plan(plan_links(input, plan, options));
+}
 
+SimInstance build_sim_from_plan(const LinkPlan& links) {
   SimInstance instance;
   instance.sim = std::make_unique<Simulator>();
   instance.network = std::make_unique<Network>(*instance.sim,

@@ -91,6 +91,11 @@ struct SimInstance {
                                     const design::CapacityPlan& plan,
                                     const BuildOptions& options = {});
 
+/// Wires the packet simulator directly from an explicit LinkPlan — the
+/// entry point for scenarios that mutate the plan (failure models cutting
+/// links) before any backend commits to a representation.
+[[nodiscard]] SimInstance build_sim_from_plan(const LinkPlan& plan);
+
 /// Expands a traffic matrix into per-ordered-pair demands totalling
 /// `aggregate_gbps * rate_scale`.
 [[nodiscard]] std::vector<TrafficDemand> demands_from_traffic(

@@ -95,6 +95,18 @@ DemandMatrix DemandMatrix::from_users(
   return out;
 }
 
+DemandMatrix DemandMatrix::from_pairs(std::vector<PairDemand> pairs) {
+  DemandMatrix out;
+  out.pairs_.reserve(pairs.size());
+  for (PairDemand& pair : pairs) {
+    if (pair.rate_bps <= 0.0) continue;
+    out.users_ += pair.users;
+    out.rate_bps_ += pair.rate_bps;
+    out.pairs_.push_back(std::move(pair));
+  }
+  return out;
+}
+
 std::vector<TrafficDemand> DemandMatrix::to_demands() const {
   std::vector<TrafficDemand> demands;
   demands.reserve(pairs_.size());

@@ -44,6 +44,12 @@ class DemandMatrix {
       const std::vector<std::vector<double>>& traffic,
       std::uint64_t total_users, double per_user_bps, double rate_scale = 1.0);
 
+  /// Rebuilds a matrix from explicit pair demands (totals recomputed).
+  /// The scenario generators (src/net/scenario/) use this to return
+  /// transformed copies — regional skew, diurnal phase — of a base matrix.
+  /// Pairs with non-positive rate are dropped.
+  [[nodiscard]] static DemandMatrix from_pairs(std::vector<PairDemand> pairs);
+
   [[nodiscard]] const std::vector<PairDemand>& pairs() const noexcept {
     return pairs_;
   }

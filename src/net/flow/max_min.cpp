@@ -1,61 +1,18 @@
 #include "net/flow/max_min.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <memory>
 
-#include "engine/executor.hpp"
+#include "net/flow/shard.hpp"
 #include "util/error.hpp"
 
 namespace cisp::net::flow {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Exact-min reduction, optionally sharded: chunk minima land in distinct
-/// slots and merge serially in chunk order, so the result is the true
-/// minimum at every thread count (min is exact — no FP accumulation).
-template <typename Fn>
-double sharded_min(engine::Executor* pool, std::size_t cutoff, std::size_t n,
-                   Fn&& value_of) {
-  if (pool == nullptr || n < cutoff) {
-    double best = kInf;
-    for (std::size_t i = 0; i < n; ++i) best = std::min(best, value_of(i));
-    return best;
-  }
-  const std::size_t chunks =
-      std::min(n, std::max<std::size_t>(1, pool->thread_count()) * 4);
-  const std::size_t grain = (n + chunks - 1) / chunks;
-  std::vector<double> partial(chunks, kInf);
-  engine::parallel_for(
-      *pool, chunks,
-      [&](std::size_t c) {
-        const std::size_t begin = c * grain;
-        const std::size_t end = std::min(n, begin + grain);
-        double best = kInf;
-        for (std::size_t i = begin; i < end; ++i) {
-          best = std::min(best, value_of(i));
-        }
-        partial[c] = best;
-      },
-      1);
-  double best = kInf;
-  for (const double v : partial) best = std::min(best, v);
-  return best;
-}
-
-/// Independent per-index writes, optionally sharded. Deterministic because
-/// every index writes only its own state.
-template <typename Fn>
-void sharded_apply(engine::Executor* pool, std::size_t cutoff, std::size_t n,
-                   Fn&& fn) {
-  if (pool == nullptr || n < cutoff) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  engine::parallel_for(*pool, n, fn);
-}
+using detail::kInf;
+using detail::sharded_apply;
+using detail::sharded_min;
 
 }  // namespace
 

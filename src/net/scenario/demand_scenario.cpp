@@ -1,0 +1,120 @@
+#include "net/scenario/demand_scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cisp::net::scenario {
+
+flow::DemandMatrix apply_regional_skew(const flow::DemandMatrix& base,
+                                       const RegionalSkew& skew) {
+  for (const double w : skew.site_weight) {
+    CISP_REQUIRE(w >= 0.0, "regional skew weights must be non-negative");
+  }
+  std::vector<flow::PairDemand> pairs = base.pairs();
+  double skewed_total = 0.0;
+  for (flow::PairDemand& pair : pairs) {
+    CISP_REQUIRE(pair.src < skew.site_weight.size() &&
+                     pair.dst < skew.site_weight.size(),
+                 "regional skew weight map does not cover all sites");
+    pair.rate_bps *= skew.site_weight[pair.src] * skew.site_weight[pair.dst];
+    skewed_total += pair.rate_bps;
+  }
+  if (skew.preserve_total && skewed_total > 0.0) {
+    const double rescale = base.total_rate_bps() / skewed_total;
+    for (flow::PairDemand& pair : pairs) pair.rate_bps *= rescale;
+  }
+  return flow::DemandMatrix::from_pairs(std::move(pairs));
+}
+
+std::vector<double> population_skew_weights(
+    const std::vector<std::uint64_t>& populations, double gamma) {
+  CISP_REQUIRE(!populations.empty(), "no populations to skew");
+  double mean = 0.0;
+  for (const std::uint64_t p : populations) mean += static_cast<double>(p);
+  mean /= static_cast<double>(populations.size());
+  CISP_REQUIRE(mean > 0.0, "populations are all zero");
+  std::vector<double> weights(populations.size(), 1.0);
+  if (gamma == 0.0) return weights;
+  for (std::size_t i = 0; i < populations.size(); ++i) {
+    weights[i] = std::pow(static_cast<double>(populations[i]) / mean, gamma);
+  }
+  return weights;
+}
+
+std::vector<double> timezone_offsets(const std::vector<geo::LatLon>& sites) {
+  std::vector<double> offsets(sites.size(), 0.0);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    offsets[i] = sites[i].lon_deg / 15.0;
+  }
+  return offsets;
+}
+
+double diurnal_activity(const DiurnalProfile& profile, std::size_t site,
+                        double utc_hour) {
+  CISP_REQUIRE(site < profile.tz_offset_hours.size(),
+               "diurnal profile does not cover this site");
+  CISP_REQUIRE(profile.amplitude >= 0.0 && profile.floor_activity >= 0.0,
+               "diurnal amplitude/floor must be non-negative");
+  const double local =
+      utc_hour + profile.tz_offset_hours[site] - profile.peak_local_hour;
+  constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+  const double activity =
+      1.0 + profile.amplitude * std::cos(kTwoPi * local / 24.0);
+  return std::max(profile.floor_activity, activity);
+}
+
+flow::DemandMatrix apply_diurnal(const flow::DemandMatrix& base,
+                                 const DiurnalProfile& profile,
+                                 double utc_hour) {
+  std::vector<flow::PairDemand> pairs = base.pairs();
+  for (flow::PairDemand& pair : pairs) {
+    const double a_src = diurnal_activity(profile, pair.src, utc_hour);
+    const double a_dst = diurnal_activity(profile, pair.dst, utc_hour);
+    pair.rate_bps *= std::sqrt(a_src * a_dst);
+  }
+  return flow::DemandMatrix::from_pairs(std::move(pairs));
+}
+
+std::vector<std::vector<double>> blend_traffic(
+    const std::vector<std::vector<std::vector<double>>>& classes,
+    const std::vector<double>& weights) {
+  CISP_REQUIRE(!classes.empty(), "no traffic classes to blend");
+  CISP_REQUIRE(classes.size() == weights.size(),
+               "one weight per traffic class required");
+  const std::size_t n = classes.front().size();
+  for (const auto& matrix : classes) {
+    CISP_REQUIRE(matrix.size() == n, "class matrix dimensions differ");
+    for (const auto& row : matrix) {
+      CISP_REQUIRE(row.size() == n, "class matrix is not square");
+    }
+  }
+
+  std::vector<std::vector<double>> blended(n, std::vector<double>(n, 0.0));
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    CISP_REQUIRE(weights[k] >= 0.0, "negative traffic mix weight");
+    double sum = 0.0;
+    for (const auto& row : classes[k]) {
+      for (const double v : row) sum += v;
+    }
+    if (sum <= 0.0 || weights[k] == 0.0) continue;
+    const double scale = weights[k] / sum;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        blended[i][j] += classes[k][i][j] * scale;
+      }
+    }
+  }
+  double max_entry = 0.0;
+  for (const auto& row : blended) {
+    for (const double v : row) max_entry = std::max(max_entry, v);
+  }
+  CISP_REQUIRE(max_entry > 0.0, "blended traffic is all-zero");
+  for (auto& row : blended) {
+    for (double& v : row) v /= max_entry;
+  }
+  return blended;
+}
+
+}  // namespace cisp::net::scenario

@@ -1,0 +1,104 @@
+#pragma once
+// Demand scenarios: generators that transform a base flow::DemandMatrix
+// into the heterogeneous, shifting workloads the paper evaluates under
+// (§6.4 traffic mixes, weather/§6.5 perturbations) — without touching the
+// design or the allocators. Every generator is a pure function of its
+// inputs, so scenario sweeps inherit the engine's bit-identical-results
+// contract for free.
+//
+//   Regional skew   — per-metro weight maps: pair intensity scales with
+//                     the product of its endpoint weights (optionally
+//                     renormalized so the total offered load is preserved
+//                     and only the *shape* of the matrix moves).
+//   Diurnal phase   — a time-of-day activity sinusoid with per-city
+//                     timezone offsets (solar time from longitude): East
+//                     Coast evening peaks hit hours before the West
+//                     Coast's, so the aggregate load AND its geography
+//                     shift across epochs.
+//   Traffic mixes   — weighted blends of application-class matrices (the
+//                     fig11 city-city / city-DC / DC-DC classes), for
+//                     loading a design with a deviating mix.
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/latlon.hpp"
+#include "net/flow/demand_matrix.hpp"
+
+namespace cisp::net::scenario {
+
+// ---------------------------------------------------------------------------
+// Regional skew
+// ---------------------------------------------------------------------------
+
+struct RegionalSkew {
+  /// Per-site demand weight (>= 0, indexed by site id). A pair's offered
+  /// rate scales by weight[src] * weight[dst]; user counts are untouched
+  /// (the same users get hungrier or quieter, they do not move).
+  std::vector<double> site_weight;
+  /// Renormalize so the transformed matrix offers exactly the base
+  /// matrix's total rate: the skew then changes only where demand sits.
+  bool preserve_total = true;
+};
+
+/// Applies a per-metro weight map to a demand matrix. Pairs whose weight
+/// product is zero are dropped.
+[[nodiscard]] flow::DemandMatrix apply_regional_skew(
+    const flow::DemandMatrix& base, const RegionalSkew& skew);
+
+/// A population-exponent weight map: weight_i = (pop_i / mean_pop)^gamma.
+/// gamma = 0 is uniform, gamma > 0 concentrates demand in the largest
+/// metros, gamma < 0 inverts the skew toward small ones.
+[[nodiscard]] std::vector<double> population_skew_weights(
+    const std::vector<std::uint64_t>& populations, double gamma);
+
+// ---------------------------------------------------------------------------
+// Diurnal phase
+// ---------------------------------------------------------------------------
+
+struct DiurnalProfile {
+  /// Per-site timezone offset in hours relative to UTC (positive east).
+  std::vector<double> tz_offset_hours;
+  /// Local hour of peak activity (the paper's application mixes peak in
+  /// the evening).
+  double peak_local_hour = 20.0;
+  /// Peak-to-mean swing of the sinusoid: activity = 1 + amplitude at the
+  /// peak, 1 - amplitude in the trough (clamped at floor_activity).
+  double amplitude = 0.6;
+  /// Minimum activity — networks are never fully silent.
+  double floor_activity = 0.1;
+};
+
+/// Solar timezone offsets from longitude (15 degrees per hour). The paper
+/// region spans ~4 hours coast to coast.
+[[nodiscard]] std::vector<double> timezone_offsets(
+    const std::vector<geo::LatLon>& sites);
+
+/// The activity factor of `site` at `utc_hour` (hours in [0, 24)):
+/// a cosine of local time peaking at peak_local_hour, clamped at the
+/// activity floor.
+[[nodiscard]] double diurnal_activity(const DiurnalProfile& profile,
+                                      std::size_t site, double utc_hour);
+
+/// Evaluates the diurnal scenario at one epoch: every pair's offered rate
+/// scales by the geometric mean of its endpoints' activity (both ends must
+/// be awake for traffic to flow; the geometric mean keeps the factor in
+/// the same [floor, 1 + amplitude] range as the per-site activity).
+[[nodiscard]] flow::DemandMatrix apply_diurnal(const flow::DemandMatrix& base,
+                                               const DiurnalProfile& profile,
+                                               double utc_hour);
+
+// ---------------------------------------------------------------------------
+// Traffic-mix blends
+// ---------------------------------------------------------------------------
+
+/// Weighted blend of application-class traffic matrices, following the
+/// design::mixed_problem convention the fig11 classes use: each class is
+/// normalized to sum 1 (so the weights are the classes' aggregate traffic
+/// shares — §6.4's 4:3:3), blended, then scaled so the largest entry is 1
+/// (the paper's h_ij in [0,1]). All class matrices must share dimensions.
+[[nodiscard]] std::vector<std::vector<double>> blend_traffic(
+    const std::vector<std::vector<std::vector<double>>>& classes,
+    const std::vector<double>& weights);
+
+}  // namespace cisp::net::scenario

@@ -1,0 +1,79 @@
+#include "net/scenario/failure_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::net::scenario {
+
+FailureOutcome apply_failures(const LinkPlan& plan, const FailureModel& model) {
+  std::vector<char> down(plan.links.size(), 0);
+
+  switch (model.kind) {
+    case FailureModel::Kind::None:
+      break;
+    case FailureModel::Kind::CutLargestK: {
+      std::vector<std::size_t> mw;
+      for (std::size_t i = 0; i < plan.links.size(); ++i) {
+        if (plan.links[i].is_mw) mw.push_back(i);
+      }
+      std::sort(mw.begin(), mw.end(), [&](std::size_t a, std::size_t b) {
+        if (plan.links[a].rate_bps != plan.links[b].rate_bps) {
+          return plan.links[a].rate_bps > plan.links[b].rate_bps;
+        }
+        return a < b;
+      });
+      const std::size_t cuts = std::min(model.k, mw.size());
+      for (std::size_t i = 0; i < cuts; ++i) down[mw[i]] = 1;
+      break;
+    }
+    case FailureModel::Kind::RandomDown: {
+      CISP_REQUIRE(
+          model.down_probability >= 0.0 && model.down_probability <= 1.0,
+          "down probability must be in [0, 1]");
+      Rng rng(model.seed);
+      for (std::size_t i = 0; i < plan.links.size(); ++i) {
+        if (plan.links[i].is_mw && rng.chance(model.down_probability)) {
+          down[i] = 1;
+        }
+      }
+      break;
+    }
+  }
+
+  FailureOutcome out;
+  out.plan.node_count = plan.node_count;
+  out.plan.links.reserve(plan.links.size());
+  for (std::size_t i = 0; i < plan.links.size(); ++i) {
+    if (down[i]) {
+      out.failed_links.push_back(i);
+    } else {
+      out.plan.links.push_back(plan.links[i]);
+    }
+  }
+  return out;
+}
+
+FailureModel::Kind parse_failure_kind(std::string_view text) {
+  if (text == "none") return FailureModel::Kind::None;
+  if (text == "cut") return FailureModel::Kind::CutLargestK;
+  if (text == "rand" || text == "random") return FailureModel::Kind::RandomDown;
+  CISP_REQUIRE(false, "unknown failure mode '" + std::string(text) +
+                          "' (expected: none, cut, rand)");
+  return FailureModel::Kind::None;  // unreachable
+}
+
+const char* to_string(FailureModel::Kind kind) {
+  switch (kind) {
+    case FailureModel::Kind::None:
+      return "none";
+    case FailureModel::Kind::CutLargestK:
+      return "cut";
+    case FailureModel::Kind::RandomDown:
+      return "rand";
+  }
+  return "unknown";
+}
+
+}  // namespace cisp::net::scenario

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "geo/latlon.hpp"
+#include "net/flow/alpha_fair.hpp"
 #include "net/flow/max_min.hpp"
 #include "util/error.hpp"
 
@@ -15,6 +16,8 @@ const char* to_string(TrafficBackend backend) {
       return "packet";
     case TrafficBackend::Flow:
       return "flow";
+    case TrafficBackend::Elastic:
+      return "elastic";
   }
   return "unknown";
 }
@@ -22,8 +25,9 @@ const char* to_string(TrafficBackend backend) {
 TrafficBackend parse_traffic_backend(std::string_view text) {
   if (text == "packet") return TrafficBackend::Packet;
   if (text == "flow") return TrafficBackend::Flow;
+  if (text == "elastic") return TrafficBackend::Elastic;
   CISP_REQUIRE(false, "unknown traffic backend '" + std::string(text) +
-                          "' (expected: packet, flow)");
+                          "' (expected: packet, flow, elastic)");
   return TrafficBackend::Packet;  // unreachable
 }
 
@@ -51,7 +55,9 @@ class PacketTrafficModel final : public TrafficModel {
 
   [[nodiscard]] TrafficReport run(const flow::DemandMatrix& demands,
                                   const TrafficRunOptions& options) override {
-    SimInstance instance = build_sim(input_, plan_, build_);
+    SimInstance instance =
+        options.plan != nullptr ? build_sim_from_plan(*options.plan)
+                                : build_sim(input_, plan_, build_);
     const auto demand_list = demands.to_demands();
     const RoutingResult routes = install_routes(
         *instance.network, instance.view, demand_list, options.scheme);
@@ -123,21 +129,26 @@ class PacketTrafficModel final : public TrafficModel {
   BuildOptions build_;
 };
 
-class FlowTrafficModel final : public TrafficModel {
+/// The fluid backends: max-min (Flow) and weighted alpha-fair (Elastic)
+/// share everything but the allocation step — same plan, same routes,
+/// same monitors.
+class FluidTrafficModel final : public TrafficModel {
  public:
-  FlowTrafficModel(const design::DesignInput& input,
-                   const design::CapacityPlan& plan,
-                   const BuildOptions& build)
-      : input_(input), plan_(plan), build_(build) {}
+  FluidTrafficModel(TrafficBackend backend, const design::DesignInput& input,
+                    const design::CapacityPlan& plan,
+                    const BuildOptions& build)
+      : backend_(backend), input_(input), plan_(plan), build_(build) {}
 
   [[nodiscard]] TrafficBackend backend() const noexcept override {
-    return TrafficBackend::Flow;
+    return backend_;
   }
 
   [[nodiscard]] TrafficReport run(const flow::DemandMatrix& demands,
                                   const TrafficRunOptions& options) override {
-    const TopologyView topo = view_from_plan(plan_links(input_, plan_,
-                                                        build_));
+    const TopologyView topo =
+        options.plan != nullptr
+            ? view_from_plan(*options.plan)
+            : view_from_plan(plan_links(input_, plan_, build_));
     const auto demand_list = demands.to_demands();
     const RoutingResult routes =
         compute_routes(topo.view, demand_list, options.scheme);
@@ -147,10 +158,28 @@ class FlowTrafficModel final : public TrafficModel {
     for (const flow::PairDemand& pair : demands.pairs()) {
       rates.push_back(pair.rate_bps);
     }
-    flow::AllocatorOptions alloc_options;
-    alloc_options.threads = options.threads;
-    const flow::Allocation allocation =
-        flow::max_min_allocate(topo.view, routes.paths, rates, alloc_options);
+    flow::Allocation allocation;
+    if (backend_ == TrafficBackend::Elastic) {
+      // Per-user fairness: each aggregated pair's utility is weighted by
+      // the users fused into it.
+      std::vector<double> weights;
+      weights.reserve(demands.pairs().size());
+      for (const flow::PairDemand& pair : demands.pairs()) {
+        weights.push_back(
+            static_cast<double>(std::max<std::uint64_t>(1, pair.users)));
+      }
+      flow::ElasticOptions elastic;
+      elastic.alpha = options.alpha;
+      elastic.threads = options.threads;
+      allocation = flow::alpha_fair_allocate(topo.view, routes.paths, rates,
+                                             weights, elastic);
+    } else {
+      flow::AllocatorOptions alloc_options;
+      alloc_options.threads = options.threads;
+      allocation =
+          flow::max_min_allocate(topo.view, routes.paths, rates,
+                                 alloc_options);
+    }
 
     TrafficReport report;
     report.pairs = flow::pair_outcomes(
@@ -161,7 +190,7 @@ class FlowTrafficModel final : public TrafficModel {
     const flow::FlowLevelStats stats =
         flow::summarize(topo.view, report.pairs, allocation);
 
-    report.stats.backend = TrafficBackend::Flow;
+    report.stats.backend = backend_;
     report.stats.flows = stats.flows;
     report.stats.users = stats.users;
     report.stats.offered_bps = stats.offered_bps;
@@ -179,6 +208,7 @@ class FlowTrafficModel final : public TrafficModel {
   }
 
  private:
+  TrafficBackend backend_;
   const design::DesignInput& input_;
   const design::CapacityPlan& plan_;
   BuildOptions build_;
@@ -189,8 +219,8 @@ class FlowTrafficModel final : public TrafficModel {
 std::unique_ptr<TrafficModel> make_traffic_model(
     TrafficBackend backend, const design::DesignInput& input,
     const design::CapacityPlan& plan, const BuildOptions& build) {
-  if (backend == TrafficBackend::Flow) {
-    return std::make_unique<FlowTrafficModel>(input, plan, build);
+  if (backend == TrafficBackend::Flow || backend == TrafficBackend::Elastic) {
+    return std::make_unique<FluidTrafficModel>(backend, input, plan, build);
   }
   return std::make_unique<PacketTrafficModel>(input, plan, build);
 }

@@ -11,11 +11,19 @@
 //   millions of aggregated users fit in memory. Latency is analytic path
 //   propagation; loss is the unserved demand fraction.
 //
-// Both backends load the SAME DemandMatrix over the SAME LinkPlan and
+//   Elastic backend — fluid weighted alpha-fair allocation (TCP-like:
+//   alpha = 1 is the proportional fairness congestion control
+//   approximates; alpha -> infinity recovers max-min exactly). Each
+//   aggregated pair is weighted by its user count, so fairness is
+//   per-user rather than per-pair.
+//
+// All backends load the SAME DemandMatrix over the SAME LinkPlan and
 // routing scheme, which is the fidelity contract the flow tests pin down:
 // on instances small enough for packets, the backends agree on mean
 // delay/stretch within a documented tolerance (queueing + serialization
-// below saturation are the residual).
+// below saturation are the residual). Scenarios that degrade the
+// substrate (failure models) hand a mutated LinkPlan through
+// TrafficRunOptions::plan and every backend builds from it.
 
 #include <memory>
 #include <string_view>
@@ -29,10 +37,12 @@ namespace cisp::net {
 enum class TrafficBackend {
   Packet,
   Flow,
+  Elastic,
 };
 
 [[nodiscard]] const char* to_string(TrafficBackend backend);
-/// Parses "packet" / "flow"; throws cisp::Error on anything else.
+/// Parses "packet" / "flow" / "elastic"; throws cisp::Error on anything
+/// else.
 [[nodiscard]] TrafficBackend parse_traffic_backend(std::string_view text);
 
 /// Knobs for one traffic evaluation through the seam.
@@ -43,9 +53,16 @@ struct TrafficRunOptions {
   double sim_duration_s = 0.3;
   double drain_s = 0.2;
   std::uint64_t seed = 0;
-  /// Flow backend: allocator sharding (1 = serial; 0 = all cores; the
+  /// Fluid backends: allocator sharding (1 = serial; 0 = all cores; the
   /// allocation is byte-identical for every value).
   std::size_t threads = 1;
+  /// Elastic backend: fairness exponent (1 = proportional fairness;
+  /// >= flow::kMaxMinAlpha or infinity recovers max-min exactly).
+  double alpha = 1.0;
+  /// Substrate override: when set, every backend builds from this plan
+  /// instead of planning from (input, capacity plan) — the failure models
+  /// hand in a plan with links already cut. Must outlive the run.
+  const LinkPlan* plan = nullptr;
 };
 
 /// Backend-comparable summary of one run. Packet fills measured

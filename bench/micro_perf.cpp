@@ -1,29 +1,56 @@
-// Google-benchmark microbenchmarks for the performance-critical kernels:
-// the hop-clearance test (Step 1's hot loop), Dijkstra over the tower
-// graph, the simplex solver, the incremental stretch evaluator (Step 2's
-// hot loop), and raw DES packet forwarding.
+// micro_perf: the hot-path kernel suite as a registered experiment. Each
+// kernel is timed with a repeat-until-min-duration harness (median-free
+// mean ns/op over the measured reps) and lands as one row of the "kernels"
+// table — so `cisp_experiments run micro_perf` needs no external benchmark
+// dependency, and `cisp_experiments perf` can lift the rows straight into
+// a schema-versioned BENCH_PR<k>.json for the perf trajectory.
+//
+// Kernel sizes follow the fast flag: smoke runs measure the same code
+// paths at reduced instance sizes (comparisons are only valid
+// like-for-like; the BENCH json records the flag).
 
-#include <benchmark/benchmark.h>
-
-#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
 
-#include "cisp.hpp"
+#include "bench_common.hpp"
 
 namespace {
 using namespace cisp;
 
-const terrain::Region& bench_region() {
-  static const terrain::Region region = [] {
-    auto r = terrain::contiguous_us();
-    return r;
-  }();
-  return region;
+using Clock = std::chrono::steady_clock;
+
+/// Times `fn` by doubling the repetition count until the batch takes at
+/// least `min_ms`, then reports mean ns per call over the final batch.
+/// The warmup call (outside timing) touches lazily built fixtures.
+struct KernelTiming {
+  double ns_per_op = 0.0;
+  std::uint64_t reps = 0;
+};
+
+KernelTiming time_kernel(const std::function<void()>& fn, double min_ms) {
+  fn();  // warmup: fixture construction, caches, page faults
+  std::uint64_t reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) fn();
+    const std::chrono::duration<double, std::milli> elapsed =
+        Clock::now() - start;
+    if (elapsed.count() >= min_ms || reps >= (1ULL << 24)) {
+      return {elapsed.count() * 1e6 / static_cast<double>(reps), reps};
+    }
+    // Jump straight to the projected count when the batch was way short.
+    const double scale = elapsed.count() > 0.0
+                             ? std::max(2.0, min_ms / elapsed.count() * 1.2)
+                             : 2.0;
+    reps = static_cast<std::uint64_t>(
+        std::min(1.7e7, std::ceil(static_cast<double>(reps) * scale)));
+  }
 }
 
 const terrain::RasterTerrain& bench_raster() {
   static const terrain::RasterTerrain raster = [] {
-    const auto& region = bench_region();
+    const auto region = terrain::contiguous_us();
     return terrain::RasterTerrain(region.make_terrain(),
                                   {.lat_min = 38.0, .lat_max = 42.0,
                                    .lon_min = -106.0, .lon_max = -98.0},
@@ -31,33 +58,6 @@ const terrain::RasterTerrain& bench_raster() {
   }();
   return raster;
 }
-
-void BM_TerrainProfile(benchmark::State& state) {
-  const auto& raster = bench_raster();
-  const geo::LatLon a{39.5, -105.0};
-  const geo::LatLon b{39.9, -104.0};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(terrain::build_profile(raster, a, b, 0.5));
-  }
-}
-BENCHMARK(BM_TerrainProfile);
-
-void BM_HopClearance(benchmark::State& state) {
-  const auto& raster = bench_raster();
-  const auto profile = terrain::build_profile(raster, {39.5, -105.0},
-                                              {39.9, -104.0}, 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rf::evaluate_clearance(profile, 90.0, 90.0));
-  }
-}
-BENCHMARK(BM_HopClearance);
-
-void BM_RainAttenuation(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rf::hop_rain_attenuation_db(80.0, 45.0, 11.0));
-  }
-}
-BENCHMARK(BM_RainAttenuation);
 
 graphs::Graph random_graph(std::size_t nodes, std::size_t edges) {
   Rng rng(7);
@@ -70,18 +70,8 @@ graphs::Graph random_graph(std::size_t nodes, std::size_t edges) {
   return g;
 }
 
-void BM_Dijkstra(benchmark::State& state) {
-  const auto g = random_graph(static_cast<std::size_t>(state.range(0)),
-                              static_cast<std::size_t>(state.range(0)) * 16);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(graphs::dijkstra(g, 0));
-  }
-}
-BENCHMARK(BM_Dijkstra)->Arg(1000)->Arg(10000);
-
-void BM_SimplexTransport(benchmark::State& state) {
-  // A dense random transportation LP.
-  const std::size_t m = static_cast<std::size_t>(state.range(0));
+/// A dense random transportation LP (m supply rows x m demand rows).
+lp::LinearProgram transport_lp(std::size_t m) {
   Rng rng(11);
   lp::LinearProgram problem;
   problem.num_vars = m * m;
@@ -97,14 +87,10 @@ void BM_SimplexTransport(benchmark::State& state) {
     problem.add_less_eq(std::move(supply), 10.0);
     problem.add_greater_eq(std::move(demand), 5.0);
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(lp::solve(problem));
-  }
+  return problem;
 }
-BENCHMARK(BM_SimplexTransport)->Arg(6)->Arg(12);
 
-void BM_StretchEvaluatorAddLink(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
+design::DesignInput stretch_eval_input(std::size_t n) {
   Rng rng(13);
   std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n; ++i) {
@@ -122,266 +108,218 @@ void BM_StretchEvaluatorAddLink(benchmark::State& state) {
   for (std::size_t i = 0; i + 1 < n; ++i) {
     cands.push_back({i, i + 1, geod[i][i + 1] * 1.05, 10.0});
   }
-  const design::DesignInput input(geod, fiber, traffic, cands, 1e9);
-  for (auto _ : state) {
-    design::StretchEvaluator eval(input);
-    for (std::size_t l = 0; l < cands.size(); ++l) eval.add_link(l);
-    benchmark::DoNotOptimize(eval.mean_stretch());
-  }
+  return design::DesignInput(std::move(geod), std::move(fiber),
+                             std::move(traffic), std::move(cands), 1e9);
 }
-BENCHMARK(BM_StretchEvaluatorAddLink)->Arg(60)->Arg(120);
 
-// Sharded design solvers: serial (Arg(1)) vs 4-thread (Arg(4)) wall time on
-// one instance. Selections are bit-identical at every thread count — only
-// the clock moves — and the Arg(1) path constructs no pool at all, so it
-// doubles as the <5%-regression guard for the serial baseline.
-const design::DesignInput& solver_bench_instance() {
-  static const design::DesignInput instance = [] {
-    const std::size_t n = 40;
-    Rng rng(17);
-    std::vector<std::pair<double, double>> pts;
-    for (std::size_t i = 0; i < n; ++i) {
-      pts.push_back({rng.uniform(0.0, 4000.0), rng.uniform(0.0, 2000.0)});
+/// The 40-site (25 in fast mode) random design instance shared by the
+/// solver kernels.
+design::DesignInput solver_bench_instance(std::size_t n, double budget) {
+  Rng rng(17);
+  std::vector<std::pair<double, double>> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 4000.0), rng.uniform(0.0, 2000.0)});
+  }
+  std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
+  std::vector<design::CandidateLink> cands;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = pts[i].first - pts[j].first;
+      const double dy = pts[i].second - pts[j].second;
+      const double d = std::max(50.0, std::hypot(dx, dy));
+      geod[i][j] = geod[j][i] = d;
+      traffic[i][j] = traffic[j][i] = rng.uniform(0.01, 1.0);
+      cands.push_back({i, j, d * rng.uniform(1.02, 1.12),
+                       std::ceil(d / 90.0) + 1.0});
     }
-    std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
-    std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
-    std::vector<design::CandidateLink> cands;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double dx = pts[i].first - pts[j].first;
-        const double dy = pts[i].second - pts[j].second;
-        const double d = std::max(50.0, std::hypot(dx, dy));
-        geod[i][j] = geod[j][i] = d;
-        traffic[i][j] = traffic[j][i] = rng.uniform(0.01, 1.0);
-        cands.push_back({i, j, d * rng.uniform(1.02, 1.12),
-                         std::ceil(d / 90.0) + 1.0});
-      }
-    }
-    auto fiber = geod;
-    for (auto& row : fiber) {
-      for (double& v : row) v *= 1.9;
-    }
-    return design::DesignInput(std::move(geod), std::move(fiber),
-                               std::move(traffic), std::move(cands), 400.0);
-  }();
-  return instance;
-}
-
-void BM_GreedyParallel(benchmark::State& state) {
-  const auto& input = solver_bench_instance();
-  design::GreedyOptions options;
-  options.solver.threads = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(design::solve_greedy(input, options));
   }
-}
-BENCHMARK(BM_GreedyParallel)
-    ->Arg(1)
-    ->Arg(4)
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
-
-void BM_ExactParallel(benchmark::State& state) {
-  const auto& input = solver_bench_instance();
-  design::ExactOptions options;
-  // Restrict to a pool the branch and bound fully proves in milliseconds.
-  options.candidate_pool = design::greedy_candidate_pool(input, 2.0);
-  if (options.candidate_pool.size() > 18) {
-    options.candidate_pool.resize(18);
+  auto fiber = geod;
+  for (auto& row : fiber) {
+    for (double& v : row) v *= 1.9;
   }
-  options.solver.threads = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(design::solve_exact(input, options));
-  }
-}
-BENCHMARK(BM_ExactParallel)
-    ->Arg(1)
-    ->Arg(4)
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
-
-// engine_sweep: serial vs N-thread wall time for a weather-study slice run
-// through engine::run_sweep. Compare real time at Arg(1) vs Arg(4): results
-// are bit-identical at every thread count, only the wall clock moves.
-const auto& weather_slice() {
-  struct Slice {
-    design::Scenario scenario;
-    design::SiteProblem problem;
-    design::Topology topo;
-    weather::RainField rain;
-  };
-  static const Slice slice = [] {
-    design::ScenarioOptions options;
-    options.fast = true;
-    options.top_cities = 40;
-    auto scenario = design::build_us_scenario(options);
-    auto problem = design::city_city_problem(scenario, 500.0, 20);
-    auto topo = design::solve_greedy(problem.input);
-    weather::RainField rain(scenario.region.box);
-    return Slice{std::move(scenario), std::move(problem), std::move(topo),
-                 std::move(rain)};
-  }();
-  return slice;
+  return design::DesignInput(std::move(geod), std::move(fiber),
+                             std::move(traffic), std::move(cands), budget);
 }
 
-void BM_EngineSweepWeatherSlice(benchmark::State& state) {
-  const auto& slice = weather_slice();
-  weather::StudyParams params;
-  params.days = 60;
-  params.threads = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        weather::run_weather_study(slice.problem, slice.topo,
-                                   slice.scenario.tower_graph.towers,
-                                   slice.rain, params));
-  }
-}
-BENCHMARK(BM_EngineSweepWeatherSlice)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
-
-// Flow backend: max-min allocation wall time vs endpoint count. Users are
-// apportioned over the city-pair matrix of a 30-site substrate, so state
-// (and time) scales with pairs, not users — the 10^6 entry demonstrates
-// exactly that.
+/// The 30-site designed-and-provisioned instance the allocator kernels
+/// load traffic onto.
 struct FlowBenchInstance {
   design::DesignInput input;
   design::CapacityPlan plan;
   std::vector<std::vector<double>> traffic;
 };
 
-const FlowBenchInstance& flow_bench_instance() {
-  static const FlowBenchInstance instance = [] {
-    const std::size_t n = 30;
-    Rng rng(23);
-    std::vector<std::pair<double, double>> pts;
-    for (std::size_t i = 0; i < n; ++i) {
-      pts.push_back({rng.uniform(0.0, 4000.0), rng.uniform(0.0, 2000.0)});
-    }
-    std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
-    std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
-    std::vector<design::CandidateLink> cands;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double dx = pts[i].first - pts[j].first;
-        const double dy = pts[i].second - pts[j].second;
-        const double d = std::max(50.0, std::hypot(dx, dy));
-        geod[i][j] = geod[j][i] = d;
-        traffic[i][j] = traffic[j][i] = rng.uniform(0.01, 1.0);
-        cands.push_back({i, j, d * 1.05, std::ceil(d / 90.0) + 1.0});
-      }
-    }
-    auto fiber = geod;
-    for (auto& row : fiber) {
-      for (double& v : row) v *= 1.9;
-    }
-    design::DesignInput input(std::move(geod), std::move(fiber), traffic,
-                              cands, 300.0);
-    const auto topo = design::solve_greedy(input);
-    design::CapacityPlan plan;
-    plan.aggregate_gbps = 100.0;
-    for (const std::size_t link : topo.links) {
-      design::LinkProvision prov;
-      prov.candidate_index = link;
-      prov.site_a = input.candidates()[link].site_a;
-      prov.site_b = input.candidates()[link].site_b;
-      prov.series = 3;
-      plan.links.push_back(prov);
-    }
-    return FlowBenchInstance{std::move(input), std::move(plan),
-                             std::move(traffic)};
-  }();
-  return instance;
-}
-
-void BM_FlowAllocator(benchmark::State& state) {
-  const auto& instance = flow_bench_instance();
-  const auto users = static_cast<std::uint64_t>(state.range(0));
-  const auto demands =
-      net::flow::DemandMatrix::from_users(instance.traffic, users, 1e5);
-  const auto model = net::make_traffic_model(
-      net::TrafficBackend::Flow, instance.input, instance.plan);
-  net::TrafficRunOptions options;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model->run(demands, options));
+FlowBenchInstance flow_bench_instance() {
+  const std::size_t n = 30;
+  Rng rng(23);
+  std::vector<std::pair<double, double>> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, 4000.0), rng.uniform(0.0, 2000.0)});
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(users));
-}
-BENCHMARK(BM_FlowAllocator)
-    ->Arg(1000)
-    ->Arg(100000)
-    ->Arg(1000000)
-    ->Unit(benchmark::kMillisecond);
-
-// The elastic (alpha-fair) backend on the same instance: the dual-ascent
-// iteration cost against the single progressive filling of max-min.
-void BM_ElasticAllocator(benchmark::State& state) {
-  const auto& instance = flow_bench_instance();
-  const auto users = static_cast<std::uint64_t>(state.range(0));
-  const auto demands =
-      net::flow::DemandMatrix::from_users(instance.traffic, users, 1e5);
-  const auto model = net::make_traffic_model(
-      net::TrafficBackend::Elastic, instance.input, instance.plan);
-  net::TrafficRunOptions options;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model->run(demands, options));
+  std::vector<std::vector<double>> geod(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> traffic(n, std::vector<double>(n, 0.0));
+  std::vector<design::CandidateLink> cands;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = pts[i].first - pts[j].first;
+      const double dy = pts[i].second - pts[j].second;
+      const double d = std::max(50.0, std::hypot(dx, dy));
+      geod[i][j] = geod[j][i] = d;
+      traffic[i][j] = traffic[j][i] = rng.uniform(0.01, 1.0);
+      cands.push_back({i, j, d * 1.05, std::ceil(d / 90.0) + 1.0});
+    }
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(users));
-}
-BENCHMARK(BM_ElasticAllocator)
-    ->Arg(100000)
-    ->Arg(1000000)
-    ->Unit(benchmark::kMillisecond);
-
-// Packet vs flow at a matched scenario size: the same demand matrix and
-// substrate realized by each backend (packet pays per-packet event cost
-// over a 50 ms window; flow pays one allocation).
-void BM_TrafficBackendPacket(benchmark::State& state) {
-  const auto& instance = flow_bench_instance();
-  net::BuildOptions build;
-  build.rate_scale = 0.02;
-  const auto demands = net::flow::DemandMatrix::from_traffic(
-      instance.traffic, 100.0, build.rate_scale);
-  const auto model = net::make_traffic_model(
-      net::TrafficBackend::Packet, instance.input, instance.plan, build);
-  net::TrafficRunOptions options;
-  options.sim_duration_s = 0.05;
-  options.drain_s = 0.05;
-  options.seed = 5;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model->run(demands, options));
+  auto fiber = geod;
+  for (auto& row : fiber) {
+    for (double& v : row) v *= 1.9;
   }
-}
-BENCHMARK(BM_TrafficBackendPacket)->Unit(benchmark::kMillisecond);
-
-void BM_TrafficBackendFlow(benchmark::State& state) {
-  const auto& instance = flow_bench_instance();
-  net::BuildOptions build;
-  build.rate_scale = 0.02;
-  const auto demands = net::flow::DemandMatrix::from_traffic(
-      instance.traffic, 100.0, build.rate_scale);
-  const auto model = net::make_traffic_model(
-      net::TrafficBackend::Flow, instance.input, instance.plan, build);
-  net::TrafficRunOptions options;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model->run(demands, options));
+  design::DesignInput input(std::move(geod), std::move(fiber), traffic, cands,
+                            300.0);
+  const auto topo = design::solve_greedy(input);
+  design::CapacityPlan plan;
+  plan.aggregate_gbps = 100.0;
+  for (const std::size_t link : topo.links) {
+    design::LinkProvision prov;
+    prov.candidate_index = link;
+    prov.site_a = input.candidates()[link].site_a;
+    prov.site_b = input.candidates()[link].site_b;
+    prov.series = 3;
+    plan.links.push_back(prov);
   }
+  return {std::move(input), std::move(plan), std::move(traffic)};
 }
-BENCHMARK(BM_TrafficBackendFlow)->Unit(benchmark::kMillisecond);
 
-void BM_DesPacketForwarding(benchmark::State& state) {
-  for (auto _ : state) {
+engine::ResultSet run(const engine::ExperimentContext& ctx) {
+  const double min_ms = ctx.params.real("min_ms", bench::pick(ctx, 80.0, 15.0));
+  CISP_REQUIRE(min_ms > 0.0, "min_ms must be positive");
+
+  engine::ResultSet results;
+  auto& table = results.add_table(
+      "kernels", "Hot-path kernel timings",
+      {"kernel", "reps", "ns_per_op", "ops_per_s"});
+  const auto add = [&](const std::string& name,
+                       const std::function<void()>& fn) {
+    const KernelTiming t = time_kernel(fn, min_ms);
+    table.row({engine::Value::text(name),
+               engine::Value::integer(static_cast<std::int64_t>(t.reps)),
+               engine::Value::real(t.ns_per_op, 1),
+               engine::Value::real(t.ns_per_op > 0.0 ? 1e9 / t.ns_per_op : 0.0,
+                                   1)});
+  };
+
+  // --- Substrate kernels: terrain, RF, graph, LP ---------------------------
+  const auto& raster = bench_raster();
+  const geo::LatLon prof_a{39.5, -105.0};
+  const geo::LatLon prof_b{39.9, -104.0};
+  add("terrain_profile", [&] {
+    volatile auto profile = terrain::build_profile(raster, prof_a, prof_b, 0.5)
+                                .dist_km.size();
+    (void)profile;
+  });
+  const auto profile = terrain::build_profile(raster, prof_a, prof_b, 0.5);
+  add("hop_clearance", [&] {
+    volatile bool clear = rf::evaluate_clearance(profile, 90.0, 90.0).clear;
+    (void)clear;
+  });
+  add("rain_attenuation", [&] {
+    volatile double db = rf::hop_rain_attenuation_db(80.0, 45.0, 11.0);
+    (void)db;
+  });
+  const auto graph_small = random_graph(1000, 16000);
+  add("dijkstra_1k", [&] {
+    volatile double d = graphs::dijkstra(graph_small, 0).dist[999];
+    (void)d;
+  });
+  if (!ctx.fast) {
+    const auto graph_large = random_graph(10000, 160000);
+    add("dijkstra_10k", [&] {
+      volatile double d = graphs::dijkstra(graph_large, 0).dist[9999];
+      (void)d;
+    });
+  }
+  const auto lp_problem = transport_lp(bench::pick(ctx, std::size_t{12},
+                                                   std::size_t{6}));
+  add("simplex_transport", [&] {
+    volatile double obj = lp::solve(lp_problem).objective;
+    (void)obj;
+  });
+  const auto stretch_input =
+      stretch_eval_input(bench::pick(ctx, std::size_t{120}, std::size_t{60}));
+  add("stretch_eval_add_link", [&] {
+    design::StretchEvaluator eval(stretch_input);
+    const std::size_t links = stretch_input.candidates().size();
+    for (std::size_t l = 0; l < links; ++l) eval.add_link(l);
+    volatile double s = eval.mean_stretch();
+    (void)s;
+  });
+
+  // --- Solver kernels ------------------------------------------------------
+  const auto solver_input = solver_bench_instance(
+      bench::pick(ctx, std::size_t{40}, std::size_t{25}),
+      bench::pick(ctx, 400.0, 250.0));
+  add("greedy_solver", [&] {
+    design::GreedyOptions options;
+    options.solver.threads = 1;
+    volatile double s = design::solve_greedy(solver_input, options)
+                            .mean_stretch;
+    (void)s;
+  });
+  design::ExactOptions exact_options;
+  exact_options.candidate_pool = design::greedy_candidate_pool(solver_input,
+                                                               2.0);
+  if (exact_options.candidate_pool.size() > bench::pick(ctx, std::size_t{18},
+                                                        std::size_t{14})) {
+    exact_options.candidate_pool.resize(
+        bench::pick(ctx, std::size_t{18}, std::size_t{14}));
+  }
+  exact_options.solver.threads = 1;
+  add("exact_solver", [&] {
+    volatile double s =
+        design::solve_exact(solver_input, exact_options).topology.mean_stretch;
+    (void)s;
+  });
+
+  // --- Allocator kernels at traffic scale ----------------------------------
+  const auto flow_instance = flow_bench_instance();
+  net::TrafficRunOptions run_options;
+  const auto flow_model = net::make_traffic_model(
+      net::TrafficBackend::Flow, flow_instance.input, flow_instance.plan);
+  const auto elastic_model = net::make_traffic_model(
+      net::TrafficBackend::Elastic, flow_instance.input, flow_instance.plan);
+  const auto demands_1e5 = net::flow::DemandMatrix::from_users(
+      flow_instance.traffic, 100000, 1e5);
+  add("max_min_1e5_users", [&] {
+    volatile double d = flow_model->run(demands_1e5, run_options)
+                            .stats.delivered_bps;
+    (void)d;
+  });
+  if (!ctx.fast) {
+    const auto demands_1e6 = net::flow::DemandMatrix::from_users(
+        flow_instance.traffic, 1000000, 1e5);
+    add("max_min_1e6_users", [&] {
+      volatile double d = flow_model->run(demands_1e6, run_options)
+                              .stats.delivered_bps;
+      (void)d;
+    });
+  }
+  // Saturated elastic instance: per-user demand far above fair share, so
+  // the dual ascent must actually price the bottlenecks.
+  add("alpha_fair_saturated", [&] {
+    volatile double d = elastic_model->run(demands_1e5, run_options)
+                            .stats.delivered_bps;
+    (void)d;
+  });
+
+  // --- DES packet forwarding -----------------------------------------------
+  add("packet_forwarding_10k", [] {
     net::Simulator sim;
     net::Network network(sim, 2);
     const std::size_t l = network.add_duplex_link(0, 1, 1e10, 0.001);
     network.node(0).set_route(0, 1, &network.link(l));
     std::uint64_t delivered = 0;
-    network.node(1).set_local_deliver([&](const net::Packet&) { ++delivered; });
+    network.node(1).set_local_deliver(
+        [&](const net::Packet&) { ++delivered; });
     for (int i = 0; i < 10000; ++i) {
       net::Packet p;
       p.src = 0;
@@ -390,12 +328,25 @@ void BM_DesPacketForwarding(benchmark::State& state) {
       network.inject(p);
     }
     sim.run();
-    benchmark::DoNotOptimize(delivered);
-  }
-  state.SetItemsProcessed(state.iterations() * 10000);
+    volatile std::uint64_t out = delivered;
+    (void)out;
+  });
+
+  results.note(
+      "Wall-clock kernel timings: comparisons are only meaningful against a "
+      "run\nwith the same fast flag and similar hardware. `cisp_experiments "
+      "perf` wraps\nthis suite into BENCH_PR<k>.json and gates >10% "
+      "regressions against a\ncommitted baseline.");
+  return results;
 }
-BENCHMARK(BM_DesPacketForwarding);
+
+const engine::RegisterExperiment kRegistration{
+    {.name = "micro_perf",
+     .description =
+         "Hot-path kernel timings: terrain/RF/graph/LP/solver/allocator/DES",
+     .tags = {"bench", "perf"},
+     .params = {{"min_ms", "80 (15 in fast mode)",
+                 "minimum measured wall time per kernel batch"}}},
+    run};
 
 }  // namespace
-
-BENCHMARK_MAIN();

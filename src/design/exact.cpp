@@ -1,6 +1,8 @@
 #include "design/exact.hpp"
 
 #include "engine/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -270,6 +272,7 @@ Expansion expand_frontier(const DesignInput& input,
 }  // namespace
 
 ExactResult solve_exact(const DesignInput& input, const ExactOptions& options) {
+  const obs::TraceSpan search_span("exact.search", "solver");
   for (const std::size_t l : options.candidate_pool) {
     CISP_REQUIRE(l < input.candidates().size(), "pool index out of range");
   }
@@ -382,6 +385,9 @@ ExactResult solve_exact(const DesignInput& input, const ExactOptions& options) {
       engine::parallel_for(
           executor, workers.size(),
           [&](std::size_t r) {
+            const obs::TraceSpan subtree_span("exact.subtree", "solver",
+                                              "root",
+                                              static_cast<double>(r));
             const SubtreeRoot& root = expansion.roots[r];
             workers[r]->run(root.prefix, root.spent, root.depth);
           },
@@ -409,6 +415,8 @@ ExactResult solve_exact(const DesignInput& input, const ExactOptions& options) {
 
   result.proven_optimal = !shared.aborted.load(std::memory_order_relaxed);
   result.nodes_explored = shared.nodes.load(std::memory_order_relaxed);
+  static obs::Counter& nodes = obs::counter("exact.nodes");
+  nodes.add(result.nodes_explored);
   const std::chrono::duration<double> elapsed = Clock::now() - shared.start;
   result.elapsed_s = elapsed.count();
   return result;

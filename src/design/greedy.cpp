@@ -2,6 +2,8 @@
 
 #include "design/exact.hpp"
 #include "engine/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <memory>
@@ -67,10 +69,16 @@ std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
     return per_cost ? benefit / candidates[link].cost_towers : benefit;
   };
 
+  static obs::Counter& rescored = obs::counter("greedy.rescore");
+
   // Parallel initial fill: each candidate's standalone score is independent.
   std::vector<double> scores(candidates.size());
-  for_indices(pool, candidates.size(),
-              [&](std::size_t l) { scores[l] = score_of(l); });
+  {
+    const obs::TraceSpan fill_span("greedy.heap_fill", "solver", "candidates",
+                                   static_cast<double>(candidates.size()));
+    for_indices(pool, candidates.size(),
+                [&](std::size_t l) { scores[l] = score_of(l); });
+  }
   for (std::size_t l = 0; l < candidates.size(); ++l) {
     heap.push({scores[l], l, 0});
   }
@@ -95,6 +103,7 @@ std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
       if (prefetch <= 1) {
         // Serial: score the one entry in place, no batch bookkeeping.
         cached_score[top.link] = score_of(top.link);
+        rescored.add();
       } else if (cached_epoch[top.link] != epoch) {
         // Batch: peek ahead at the next stale entries and re-score them
         // together. Peeked entries that survive are pushed back untouched,
@@ -123,6 +132,9 @@ std::vector<std::size_t> lazy_greedy(const DesignInput& input, double budget,
         for_indices(pool, batch.size(), [&](std::size_t b) {
           cached_score[batch[b]] = score_of(batch[b]);
         });
+        // Counts scoring evaluations, speculative ones included — so the
+        // total legitimately varies with prefetch width (unlike results).
+        rescored.add(batch.size());
         for (const std::size_t link : batch) cached_epoch[link] = epoch;
         for (const Entry& entry : peeked) heap.push(entry);
       }
@@ -166,8 +178,11 @@ Topology solve_greedy(const DesignInput& input, const GreedyOptions& options) {
   Topology best = StretchEvaluator::evaluate(input, chosen);
 
   if (options.swap_refinement && !chosen.empty()) {
+    const obs::TraceSpan refine_span("greedy.swap_refine", "solver");
+    static obs::Counter& swap_rounds = obs::counter("greedy.swap_rounds");
     const auto& candidates = input.candidates();
     for (std::size_t round = 0; round < options.max_swap_rounds; ++round) {
+      swap_rounds.add();
       bool improved = false;
       // Try replacing each chosen link with each unchosen candidate that
       // fits the freed budget.
@@ -218,6 +233,7 @@ Topology solve_greedy(const DesignInput& input, const GreedyOptions& options) {
   }
   // Opportunistic fill: spend leftover budget on best remaining links.
   {
+    const obs::TraceSpan fill_span("greedy.budget_fill", "solver");
     StretchEvaluator eval(input);
     for (const std::size_t l : best.links) eval.add_link(l);
     const auto& candidates = input.candidates();

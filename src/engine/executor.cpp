@@ -1,5 +1,7 @@
 #include "engine/executor.hpp"
 
+#include "obs/trace.hpp"
+
 namespace cisp::engine {
 
 std::size_t default_thread_count() noexcept {
@@ -12,7 +14,7 @@ Executor::Executor(std::size_t threads) {
   workers_.reserve(threads);
   try {
     for (std::size_t i = 0; i < threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   } catch (...) {
     // Thread spawn failed partway (resource exhaustion): shut down the
@@ -37,7 +39,10 @@ Executor::~Executor() {
   for (auto& worker : workers_) worker.join();
 }
 
-void Executor::worker_loop() {
+void Executor::worker_loop(std::size_t worker_index) {
+  if (obs::trace_enabled()) {
+    obs::set_trace_thread_name("worker-" + std::to_string(worker_index));
+  }
   for (;;) {
     std::function<void()> task;
     {

@@ -59,7 +59,7 @@ class Executor {
   }
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

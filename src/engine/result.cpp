@@ -124,6 +124,24 @@ bool ResultSet::has_table(const std::string& slug) const {
                      [&](const auto& t) { return t.slug() == slug; });
 }
 
+void ResultSet::set_provenance(std::string key, std::string value) {
+  CISP_REQUIRE(!key.empty(), "provenance key must be non-empty");
+  for (auto& [k, v] : provenance_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  provenance_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string ResultSet::provenance_value(const std::string& key) const {
+  for (const auto& [k, v] : provenance_) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
 bool ResultSet::empty() const noexcept { return total_rows() == 0; }
 
 std::size_t ResultSet::total_rows() const noexcept {
@@ -281,6 +299,12 @@ void serialize(const ResultSet& set, std::ostream& os) {
   for (const auto& note : set.notes()) {
     os << "note " << escape(note) << '\n';
   }
+  // Provenance records are optional metadata under the same magic: old
+  // readers never see them (build-hash keying invalidates old cache
+  // entries first), and they stay outside equality/diff by construction.
+  for (const auto& [key, value] : set.provenance()) {
+    os << "prov " << escape(key) << '\t' << escape(value) << '\n';
+  }
   os << "end\n";
 }
 
@@ -324,6 +348,10 @@ ResultSet deserialize(std::istream& is) {
       current->row(std::move(cells));
     } else if (tag == "note") {
       set.note(unescape(payload));
+    } else if (tag == "prov") {
+      const auto fields = split_fields(payload);
+      CISP_REQUIRE(fields.size() == 2, "malformed prov record");
+      set.set_provenance(unescape(fields[0]), unescape(fields[1]));
     } else {
       CISP_REQUIRE(false, "unknown record tag in result file: " + tag);
     }

@@ -15,6 +15,7 @@
 #include <deque>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cisp::engine {
@@ -122,11 +123,26 @@ class ResultSet {
   [[nodiscard]] bool empty() const noexcept;
   [[nodiscard]] std::size_t total_rows() const noexcept;
 
+  /// Run provenance: who/what/when metadata stamped by the runner (build
+  /// hash, seed, thread count, wall time, ...). Deliberately EXCLUDED from
+  /// operator==, diff_result_sets and every render sink — provenance
+  /// describes a run, not a result, so a cache entry produced at a
+  /// different thread count still diffs byte-identical. Keys are stored in
+  /// insertion order; set() replaces an existing key in place.
+  void set_provenance(std::string key, std::string value);
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  provenance() const noexcept {
+    return provenance_;
+  }
+  /// Value for a provenance key, or "" when absent.
+  [[nodiscard]] std::string provenance_value(const std::string& key) const;
+
   [[nodiscard]] bool operator==(const ResultSet& other) const;
 
  private:
   std::deque<ResultTable> tables_;
   std::vector<std::string> notes_;
+  std::vector<std::pair<std::string, std::string>> provenance_;
 };
 
 /// Serializes a ResultSet to the line-based `cisp-result-v1` format used by

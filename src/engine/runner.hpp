@@ -43,6 +43,10 @@ struct RunnerOptions {
   /// when false (glob runs over several experiments) undeclared keys are
   /// skipped with a log line so one override can target a subset.
   bool strict_params = true;
+  /// --metrics: collect obs counters/timers during the run and attach a
+  /// per-experiment snapshot to the RunReport. Collection never perturbs
+  /// results (see obs/metrics.hpp) and the snapshot is never cached.
+  bool metrics = false;
 
   /// Defaults with legacy env-var fallbacks applied: CISP_THREADS seeds
   /// `threads` and CISP_FAST seeds `fast`, so ctest-style invocations keep
@@ -50,12 +54,17 @@ struct RunnerOptions {
   [[nodiscard]] static RunnerOptions from_env();
 };
 
-/// One experiment's run outcome.
+/// One experiment's run outcome. `metrics` is populated only when
+/// RunnerOptions::metrics is set: a one-table ResultSet snapshotting the
+/// obs registry after the run — rendered alongside the results, but kept
+/// out of `results` so caching and diffing stay byte-identical whether or
+/// not instrumentation was on.
 struct RunReport {
   std::string name;
   bool cache_hit = false;
   std::uint64_t key = 0;
   ResultSet results;
+  ResultSet metrics;
 };
 
 /// The code version compiled into this binary: the SHA-256 of the source

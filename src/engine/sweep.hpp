@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "engine/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -168,7 +170,11 @@ auto run_sweep(const Grid& grid, Fn&& fn, const SweepOptions& options = {})
   for (std::size_t begin = 0; begin < n; begin += chunk) {
     const std::size_t end = std::min(n, begin + chunk);
     futures.push_back(executor.submit([&grid, &fn, &slots, begin, end] {
+      static obs::Counter& tasks = obs::counter("sweep.tasks");
       for (std::size_t i = begin; i < end; ++i) {
+        const obs::TraceSpan span("sweep.task", "sweep", "task_index",
+                                  static_cast<double>(i));
+        tasks.add();
         const Point point = grid.point(i);
         slots[i].emplace(fn(point));
       }

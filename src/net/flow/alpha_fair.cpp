@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "net/flow/shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace cisp::net::flow {
@@ -48,6 +50,8 @@ Allocation alpha_fair_allocate(const SimTopologyView& view,
     return max_min_allocate(view, paths, demand_bps, mm);
   }
 
+  const obs::TraceSpan span("flow.alpha_fair", "allocator", "flows",
+                            static_cast<double>(paths.size()));
   const std::size_t flows = paths.size();
   const std::size_t edges = view.latency_graph.edge_count();
   CISP_REQUIRE(view.capacity_bps.size() == edges, "view arrays inconsistent");
@@ -161,6 +165,8 @@ Allocation alpha_fair_allocate(const SimTopologyView& view,
           return price[e] * -overload;
         });
     ++out.rounds;
+    ++out.dual_iterations;
+    obs::trace_counter("alpha_fair.kkt_residual", residual);
     if (residual < options.tolerance || t + 1 >= options.max_iterations) {
       break;
     }
@@ -221,6 +227,12 @@ Allocation alpha_fair_allocate(const SimTopologyView& view,
   const Allocation fill =
       max_min_allocate(residual_view, paths, residual_demand, fill_options);
   out.rounds += fill.rounds;
+  out.fill_rounds = fill.rounds;
+
+  static obs::Counter& dual_iters = obs::counter("alpha_fair.iterations");
+  static obs::Counter& repair_rounds = obs::counter("alpha_fair.fill_rounds");
+  dual_iters.add(out.dual_iterations);
+  repair_rounds.add(out.fill_rounds);
 
   for (std::size_t f = 0; f < flows; ++f) {
     out.rate_bps[f] = (rate[f] + fill.rate_bps[f]) * cap_scale;

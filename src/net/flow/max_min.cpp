@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "net/flow/shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace cisp::net::flow {
@@ -22,6 +24,8 @@ Allocation max_min_allocate(const SimTopologyView& view,
                             const AllocatorOptions& options) {
   CISP_REQUIRE(paths.size() == demand_bps.size(),
                "paths/demands size mismatch");
+  const obs::TraceSpan span("flow.max_min", "allocator", "flows",
+                            static_cast<double>(paths.size()));
   const std::size_t flows = paths.size();
   const std::size_t edges = view.latency_graph.edge_count();
   CISP_REQUIRE(view.capacity_bps.size() == edges, "view arrays inconsistent");
@@ -128,6 +132,9 @@ Allocation max_min_allocate(const SimTopologyView& view,
     for (const std::uint32_t f : edge_flows[e]) load += out.rate_bps[f];
     out.edge_load_bps[e] = load;
   });
+  out.fill_rounds = out.rounds;
+  static obs::Counter& round_counter = obs::counter("flow.max_min.rounds");
+  round_counter.add(out.rounds);
   return out;
 }
 

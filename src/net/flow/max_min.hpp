@@ -35,10 +35,17 @@ struct Allocation {
   std::vector<double> rate_bps;
   /// Allocated load per graph edge, bps (sum of its flows' rates).
   std::vector<double> edge_load_bps;
-  /// Progressive-filling rounds executed.
+  /// Progressive-filling rounds executed. For the alpha-fair allocator
+  /// this is the SUM of dual iterations and Pareto fill rounds (the
+  /// historical meaning); the parts are broken out below.
   std::size_t rounds = 0;
   /// Edges that saturated and froze at least one flow.
   std::size_t bottleneck_edges = 0;
+  /// Dual-ascent price iterations (alpha-fair only; 0 for pure max-min).
+  std::size_t dual_iterations = 0;
+  /// Progressive-filling rounds (max-min itself, or the alpha-fair
+  /// leftover-capacity Pareto fill).
+  std::size_t fill_rounds = 0;
 };
 
 /// Computes the demand-capped max-min fair allocation of `demand_bps`

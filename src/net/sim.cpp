@@ -1,5 +1,6 @@
 #include "net/sim.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace cisp::net {
@@ -15,6 +16,7 @@ void Simulator::schedule_at(Time when, Handler handler) {
 }
 
 void Simulator::run_until(Time end) {
+  const std::uint64_t before = processed_;
   while (!queue_.empty() && queue_.top().when <= end) {
     // Move out the handler before popping: the handler may schedule.
     Event event = std::move(const_cast<Event&>(queue_.top()));
@@ -24,9 +26,12 @@ void Simulator::run_until(Time end) {
     event.handler();
   }
   if (now_ < end) now_ = end;
+  static obs::Counter& events = obs::counter("sim.events");
+  events.add(processed_ - before);
 }
 
 void Simulator::run() {
+  const std::uint64_t before = processed_;
   while (!queue_.empty()) {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
@@ -34,6 +39,8 @@ void Simulator::run() {
     ++processed_;
     event.handler();
   }
+  static obs::Counter& events = obs::counter("sim.events");
+  events.add(processed_ - before);
 }
 
 }  // namespace cisp::net

@@ -6,6 +6,7 @@
 #include "geo/latlon.hpp"
 #include "net/flow/alpha_fair.hpp"
 #include "net/flow/max_min.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace cisp::net {
@@ -55,6 +56,8 @@ class PacketTrafficModel final : public TrafficModel {
 
   [[nodiscard]] TrafficReport run(const flow::DemandMatrix& demands,
                                   const TrafficRunOptions& options) override {
+    const obs::TraceSpan span("traffic.packet", "traffic", "flows",
+                              static_cast<double>(demands.flow_count()));
     SimInstance instance =
         options.plan != nullptr ? build_sim_from_plan(*options.plan)
                                 : build_sim(input_, plan_, build_);
@@ -145,6 +148,10 @@ class FluidTrafficModel final : public TrafficModel {
 
   [[nodiscard]] TrafficReport run(const flow::DemandMatrix& demands,
                                   const TrafficRunOptions& options) override {
+    const obs::TraceSpan span(
+        backend_ == TrafficBackend::Elastic ? "traffic.elastic"
+                                            : "traffic.flow",
+        "traffic", "flows", static_cast<double>(demands.flow_count()));
     const TopologyView topo =
         options.plan != nullptr
             ? view_from_plan(*options.plan)

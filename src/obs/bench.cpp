@@ -1,0 +1,325 @@
+#include "obs/bench.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cisp::obs {
+
+namespace {
+
+void json_escaped(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << ch;
+    }
+  }
+}
+
+/// A deliberately small recursive-descent JSON reader, enough for reports
+/// written by write_bench_json (and hand-authored baselines in tests):
+/// objects, arrays, strings, numbers, booleans. No unicode escapes.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    CISP_REQUIRE(pos_ < text_.size(), "bench json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    CISP_REQUIRE(peek() == ch,
+                 std::string("bench json: expected '") + ch + "' at offset " +
+                     std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume(char ch) {
+    if (pos_ < text_.size() && peek() == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      CISP_REQUIRE(pos_ < text_.size(),
+                   "bench json: unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') break;
+      if (ch == '\\') {
+        CISP_REQUIRE(pos_ < text_.size(),
+                     "bench json: unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: out.push_back(esc); break;
+        }
+      } else {
+        out.push_back(ch);
+      }
+    }
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    CISP_REQUIRE(pos_ > start, "bench json: expected number at offset " +
+                                   std::to_string(start));
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  bool parse_bool() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    CISP_REQUIRE(false, "bench json: expected boolean at offset " +
+                            std::to_string(pos_));
+    return false;
+  }
+
+  /// Skips any value (for unknown keys — forward compatibility).
+  void skip_value() {
+    const char ch = peek();
+    if (ch == '"') {
+      parse_string();
+    } else if (ch == '{') {
+      ++pos_;
+      if (!consume('}')) {
+        do {
+          parse_string();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (ch == '[') {
+      ++pos_;
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (ch == 't' || ch == 'f') {
+      parse_bool();
+    } else {
+      parse_number();
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+BenchEntry parse_entry(JsonReader& reader) {
+  BenchEntry entry;
+  reader.expect('{');
+  if (!reader.consume('}')) {
+    do {
+      const std::string key = reader.parse_string();
+      reader.expect(':');
+      if (key == "name") {
+        entry.name = reader.parse_string();
+      } else if (key == "ns_per_op") {
+        entry.ns_per_op = reader.parse_number();
+      } else if (key == "reps") {
+        entry.reps = static_cast<std::uint64_t>(reader.parse_number());
+      } else {
+        reader.skip_value();
+      }
+    } while (reader.consume(','));
+    reader.expect('}');
+  }
+  CISP_REQUIRE(!entry.name.empty(), "bench json: entry without a name");
+  return entry;
+}
+
+const char* status_label(BenchStatus status) {
+  switch (status) {
+    case BenchStatus::kOk: return "ok";
+    case BenchStatus::kImprove: return "improve";
+    case BenchStatus::kRegress: return "REGRESS";
+    case BenchStatus::kMissing: return "MISSING";
+    case BenchStatus::kAdded: return "added";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_bench_json(std::ostream& os, const BenchReport& report) {
+  os << "{\n  \"schema\": \"";
+  json_escaped(os, report.schema);
+  os << "\",\n  \"build\": \"";
+  json_escaped(os, report.build);
+  os << "\",\n  \"fast\": " << (report.fast ? "true" : "false")
+     << ",\n  \"threads\": " << report.threads << ",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    const BenchEntry& entry = report.entries[i];
+    char ns[64];
+    std::snprintf(ns, sizeof(ns), "%.3f", entry.ns_per_op);
+    os << "    {\"name\": \"";
+    json_escaped(os, entry.name);
+    os << "\", \"ns_per_op\": " << ns << ", \"reps\": " << entry.reps << "}";
+    if (i + 1 < report.entries.size()) os << ',';
+    os << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+BenchReport parse_bench_json(const std::string& text) {
+  JsonReader reader(text);
+  BenchReport report;
+  report.schema.clear();
+  reader.expect('{');
+  if (!reader.consume('}')) {
+    do {
+      const std::string key = reader.parse_string();
+      reader.expect(':');
+      if (key == "schema") {
+        report.schema = reader.parse_string();
+      } else if (key == "build") {
+        report.build = reader.parse_string();
+      } else if (key == "fast") {
+        report.fast = reader.parse_bool();
+      } else if (key == "threads") {
+        report.threads = static_cast<std::size_t>(reader.parse_number());
+      } else if (key == "entries") {
+        reader.expect('[');
+        if (!reader.consume(']')) {
+          do {
+            report.entries.push_back(parse_entry(reader));
+          } while (reader.consume(','));
+          reader.expect(']');
+        }
+      } else {
+        reader.skip_value();
+      }
+    } while (reader.consume(','));
+    reader.expect('}');
+  }
+  CISP_REQUIRE(report.schema == kBenchSchema,
+               "bench json: unsupported schema '" + report.schema +
+                   "' (want " + std::string(kBenchSchema) + ")");
+  return report;
+}
+
+std::vector<BenchComparison> compare_bench(const BenchReport& baseline,
+                                           const BenchReport& current,
+                                           double threshold) {
+  CISP_REQUIRE(threshold > 0.0, "bench threshold must be positive");
+  std::map<std::string, const BenchEntry*> current_by_name;
+  for (const BenchEntry& entry : current.entries) {
+    current_by_name[entry.name] = &entry;
+  }
+  std::vector<BenchComparison> rows;
+  for (const BenchEntry& base : baseline.entries) {
+    BenchComparison row;
+    row.name = base.name;
+    row.baseline_ns = base.ns_per_op;
+    const auto it = current_by_name.find(base.name);
+    if (it == current_by_name.end()) {
+      row.status = BenchStatus::kMissing;
+      rows.push_back(std::move(row));
+      continue;
+    }
+    row.current_ns = it->second->ns_per_op;
+    current_by_name.erase(it);
+    if (base.ns_per_op > 0.0) {
+      row.delta = (row.current_ns - row.baseline_ns) / row.baseline_ns;
+    }
+    if (row.delta > threshold) {
+      row.status = BenchStatus::kRegress;
+    } else if (row.delta < -threshold) {
+      row.status = BenchStatus::kImprove;
+    } else {
+      row.status = BenchStatus::kOk;
+    }
+    rows.push_back(std::move(row));
+  }
+  // Kernels with no baseline point, in current-report order.
+  for (const BenchEntry& entry : current.entries) {
+    if (current_by_name.count(entry.name) == 0) continue;
+    BenchComparison row;
+    row.name = entry.name;
+    row.current_ns = entry.ns_per_op;
+    row.status = BenchStatus::kAdded;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::size_t render_bench_comparison(
+    std::ostream& os, const std::vector<BenchComparison>& rows) {
+  std::size_t name_width = 6;
+  for (const BenchComparison& row : rows) {
+    name_width = std::max(name_width, row.name.size());
+  }
+  os << std::left << std::setw(static_cast<int>(name_width + 2)) << "kernel"
+     << std::right << std::setw(14) << "baseline ns" << std::setw(14)
+     << "current ns" << std::setw(10) << "delta"
+     << "  status\n";
+  std::size_t regressions = 0;
+  for (const BenchComparison& row : rows) {
+    os << std::left << std::setw(static_cast<int>(name_width + 2))
+       << row.name << std::right;
+    char base[32], cur[32], delta[32];
+    std::snprintf(base, sizeof(base), "%.1f", row.baseline_ns);
+    std::snprintf(cur, sizeof(cur), "%.1f", row.current_ns);
+    std::snprintf(delta, sizeof(delta), "%+.1f%%", row.delta * 100.0);
+    os << std::setw(14)
+       << (row.status == BenchStatus::kAdded ? "-" : base) << std::setw(14)
+       << (row.status == BenchStatus::kMissing ? "-" : cur) << std::setw(10)
+       << (row.status == BenchStatus::kMissing ||
+                   row.status == BenchStatus::kAdded
+               ? "-"
+               : delta)
+       << "  " << status_label(row.status) << '\n';
+    if (row.status == BenchStatus::kRegress ||
+        row.status == BenchStatus::kMissing) {
+      ++regressions;
+    }
+  }
+  return regressions;
+}
+
+}  // namespace cisp::obs

@@ -1,0 +1,77 @@
+#pragma once
+// Perf trajectory: schema-versioned benchmark reports (BENCH_PR<k>.json)
+// plus the comparator behind `cisp_experiments perf --against`. A report is
+// a flat list of kernel timings; the comparator matches kernels by name and
+// flags any hot-path slowdown beyond a relative threshold (default 10%).
+// CI runs it warn-only against the committed baseline at the repo root and
+// uploads the fresh report as an artifact, so the trajectory accumulates
+// one point per PR.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cisp::obs {
+
+/// Schema identifier written into every report.
+inline constexpr const char* kBenchSchema = "cisp-bench-v1";
+
+/// One timed kernel: `ns_per_op` is the headline number the comparator
+/// gates on; `reps` records how many iterations the harness averaged over.
+struct BenchEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::uint64_t reps = 0;
+};
+
+/// A full benchmark run. `build` is the deterministic source hash
+/// (CISP_BUILD_HASH) so a report is traceable to the code that produced
+/// it; `fast` records whether the reduced-size suite ran (reports are only
+/// comparable like-for-like). `threads` is the executor width used.
+struct BenchReport {
+  std::string schema = kBenchSchema;
+  std::string build;
+  bool fast = false;
+  std::size_t threads = 0;
+  std::vector<BenchEntry> entries;
+};
+
+/// Serializes a report as pretty-printed JSON.
+void write_bench_json(std::ostream& os, const BenchReport& report);
+
+/// Parses a report previously written by write_bench_json. Throws
+/// util::Error on malformed input or schema mismatch.
+[[nodiscard]] BenchReport parse_bench_json(const std::string& text);
+
+/// Comparator verdict for one kernel.
+enum class BenchStatus {
+  kOk,       ///< within threshold either way
+  kImprove,  ///< faster than baseline by more than the threshold
+  kRegress,  ///< slower than baseline by more than the threshold
+  kMissing,  ///< in baseline but absent from the current run
+  kAdded,    ///< new kernel with no baseline point
+};
+
+/// One row of a comparison: `delta` is (current - baseline) / baseline,
+/// meaningless for kMissing/kAdded.
+struct BenchComparison {
+  std::string name;
+  double baseline_ns = 0.0;
+  double current_ns = 0.0;
+  double delta = 0.0;
+  BenchStatus status = BenchStatus::kOk;
+};
+
+/// Compares current against baseline kernel by kernel. Rows come back in
+/// baseline order, then any added kernels in current order.
+[[nodiscard]] std::vector<BenchComparison> compare_bench(
+    const BenchReport& baseline, const BenchReport& current,
+    double threshold = 0.10);
+
+/// Renders a comparison table for terminal output and returns the number
+/// of regressions (the comparator's exit-code driver).
+std::size_t render_bench_comparison(
+    std::ostream& os, const std::vector<BenchComparison>& rows);
+
+}  // namespace cisp::obs

@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cisp::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// The registry: name -> instrument, behind one mutex. Instruments are
+/// heap-allocated and never destroyed while the process lives (the maps
+/// hold unique_ptrs in a leaked-on-exit singleton), so references handed
+/// out are stable even across reset_metrics().
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry;  // leaked: outlives all statics
+  return *instance;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  CISP_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) noexcept {
+  if (!metrics_enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& b : buckets_) sum += b.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.counters.find(name);
+  if (it == reg.counters.end()) {
+    it = reg.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Timer& timer(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.timers.find(name);
+  if (it == reg.timers.end()) {
+    it = reg.timers.emplace(std::string(name), std::make_unique<Timer>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.histograms.find(name);
+  if (it == reg.histograms.end()) {
+    it = reg.histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void reset_metrics() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [name, c] : reg.counters) c->reset();
+  for (auto& [name, t] : reg.timers) t->reset();
+  for (auto& [name, h] : reg.histograms) h->reset();
+}
+
+std::vector<MetricRow> metrics_snapshot(bool include_zero) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<MetricRow> rows;
+  for (const auto& [name, c] : reg.counters) {
+    const std::uint64_t v = c->value();
+    if (v == 0 && !include_zero) continue;
+    rows.push_back({name, "counter", v, 0, {}});
+  }
+  for (const auto& [name, t] : reg.timers) {
+    const std::uint64_t n = t->count();
+    if (n == 0 && !include_zero) continue;
+    rows.push_back({name, "timer", n, t->total_ns(), {}});
+  }
+  for (const auto& [name, h] : reg.histograms) {
+    const std::uint64_t total = h->total();
+    if (total == 0 && !include_zero) continue;
+    std::ostringstream detail;
+    const auto counts = h->counts();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (b) detail << ' ';
+      if (b < h->bounds().size()) {
+        detail << "<=" << h->bounds()[b] << ":" << counts[b];
+      } else {
+        detail << "inf:" << counts[b];
+      }
+    }
+    rows.push_back({name, "histogram", total, 0, detail.str()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+}  // namespace cisp::obs

@@ -1,0 +1,159 @@
+#pragma once
+// Low-overhead runtime metrics: monotonic counters, wall-clock timers and
+// bounded histograms behind one process-wide registry. Everything is OFF by
+// default — an un-enabled instrument is a relaxed atomic load and an early
+// return, cheap enough to leave in solver and allocator hot loops.
+//
+// Determinism contract: metrics OBSERVE, they never feed back. Every
+// accumulator is exact integer arithmetic on atomics (counts, bucket
+// counts, nanosecond totals), and integer addition is commutative and
+// associative — so counter and histogram totals are identical for every
+// thread count and every task interleaving, and enabling metrics cannot
+// perturb any experiment result (pinned in obs_test and the runner's
+// determinism tests with --metrics active). Timer *durations* are wall
+// clock and therefore vary run to run; their call counts do not.
+//
+// Usage (the ≤5-line recipe from README "Observability"):
+//   static obs::Counter& c = obs::counter("solver.rescore");   // once
+//   c.add();                                                   // hot path
+//   ...
+//   obs::ScopedTimer t(obs::timer("solver.fill"));             // RAII span
+//
+// The registry lookup costs a mutex + map; call sites amortize it with a
+// function-local static reference. Instruments live forever once created
+// (references are never invalidated), and reset_metrics() zeroes values
+// without destroying identity.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cisp::obs {
+
+/// Global metrics switch. Instruments early-out (and record nothing) while
+/// disabled; flipping it never invalidates Counter/Timer/Histogram
+/// references.
+[[nodiscard]] bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// A monotonic counter. add() is a relaxed fetch_add gated on the global
+/// switch — safe from any thread, never observable by the computation.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A wall-clock timer: total nanoseconds plus the number of timed scopes.
+/// Totals are exact integer sums, so the *count* is thread-invariant; the
+/// duration is diagnostics, not data.
+class Timer {
+ public:
+  void record_ns(std::uint64_t ns) noexcept {
+    if (!metrics_enabled()) return;
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII scope for a Timer. Reads the clock only when metrics are enabled at
+/// construction; a scope that straddles a disable still records (record_ns
+/// re-checks, so at worst the final sample is dropped, never torn).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) noexcept
+      : timer_(&timer), armed_(metrics_enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->record_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// A bounded histogram: fixed upper-bound buckets plus an overflow bucket.
+/// record(v) increments the first bucket whose bound is >= v. All counts,
+/// so totals are exact and thread-invariant.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value) noexcept;
+  /// Bucket counts: bounds().size() + 1 entries (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+};
+
+/// Registry lookups: create-on-first-use, then stable references forever.
+/// Histogram bounds are fixed by the first caller; later callers with the
+/// same name get the existing instrument regardless of bounds.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Timer& timer(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name,
+                                   std::vector<double> bounds);
+
+/// Zeroes every registered instrument (identities survive).
+void reset_metrics();
+
+/// One snapshot row, sorted by name in snapshots. `kind` is "counter",
+/// "timer" or "histogram"; `count` is the counter value / timed-scope
+/// count / total samples; `total_ns` is nonzero only for timers; `detail`
+/// renders histogram buckets ("<=10:3 <=100:7 inf:0").
+struct MetricRow {
+  std::string name;
+  std::string kind;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::string detail;
+};
+
+/// Every registered instrument with a nonzero value, sorted by name.
+/// Include-zero rows are available via `include_zero` for tests.
+[[nodiscard]] std::vector<MetricRow> metrics_snapshot(
+    bool include_zero = false);
+
+}  // namespace cisp::obs

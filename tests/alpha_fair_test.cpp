@@ -15,6 +15,7 @@
 #include "net/flow/alpha_fair.hpp"
 #include "net/flow/max_min.hpp"
 #include "net/routing.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace cisp::net {
@@ -112,6 +113,35 @@ TEST(AlphaFair, RespectsDemandCapsAndFillsHeadroom) {
     EXPECT_LE(allocation.edge_load_bps[e],
               view.capacity_bps[e] * (1.0 + 1e-9));
   }
+}
+
+TEST(AlphaFair, UncongestedInstanceConvergesInOneDualIteration) {
+  // With every demand far below capacity the first dual iteration already
+  // sees all flows demand-capped and a zero KKT residual, so the solver
+  // must terminate after exactly one iteration. Pinned: a change that
+  // silently burns extra iterations on the easy case should fail loudly.
+  obs::reset_metrics();
+  obs::set_metrics_enabled(true);
+  const auto view = chain_view({10e9, 10e9});
+  const std::vector<TrafficDemand> demands = {
+      {0, 2, 1e9}, {0, 1, 2e9}, {1, 2, 3e9}};
+  const auto allocation = elastic(view, demands);
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(allocation.dual_iterations, 1u);
+  // Every flow got its full demand in the dual phase, so the max-min
+  // repair fill has nothing to do.
+  EXPECT_EQ(allocation.fill_rounds, 0u);
+  // `rounds` keeps its historical summed meaning; the new fields break
+  // out the parts.
+  EXPECT_EQ(allocation.rounds,
+            allocation.dual_iterations + allocation.fill_rounds);
+  // The obs counters mirror the per-call fields.
+  EXPECT_EQ(obs::counter("alpha_fair.iterations").value(),
+            allocation.dual_iterations);
+  EXPECT_EQ(obs::counter("alpha_fair.fill_rounds").value(),
+            allocation.fill_rounds);
+  obs::reset_metrics();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,219 @@
+// Tests for the perf trajectory gate (src/obs/bench.hpp): BENCH json
+// round-trips, comparator classification against synthetic baselines
+// (regressed / improved / unchanged / missing / added kernels), and the
+// `cisp_experiments perf` compare-only CLI including the --warn-only soft
+// gate that CI uses.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/runner.hpp"
+#include "obs/bench.hpp"
+#include "util/error.hpp"
+
+namespace cisp::obs {
+namespace {
+
+BenchReport make_report(std::vector<BenchEntry> entries) {
+  BenchReport report;
+  report.build = "testbuild";
+  report.fast = true;
+  report.threads = 2;
+  report.entries = std::move(entries);
+  return report;
+}
+
+std::string to_json(const BenchReport& report) {
+  std::ostringstream os;
+  write_bench_json(os, report);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(BenchJson, RoundTripsExactly) {
+  const BenchReport report = make_report({{"dijkstra_1k", 1234.5, 1000},
+                                          {"greedy_solver", 9.875e6, 12}});
+  const BenchReport parsed = parse_bench_json(to_json(report));
+  EXPECT_EQ(parsed.schema, kBenchSchema);
+  EXPECT_EQ(parsed.build, "testbuild");
+  EXPECT_TRUE(parsed.fast);
+  EXPECT_EQ(parsed.threads, 2u);
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].name, "dijkstra_1k");
+  EXPECT_NEAR(parsed.entries[0].ns_per_op, 1234.5, 1e-3);
+  EXPECT_EQ(parsed.entries[0].reps, 1000u);
+  EXPECT_EQ(parsed.entries[1].name, "greedy_solver");
+  EXPECT_NEAR(parsed.entries[1].ns_per_op, 9.875e6, 1.0);
+}
+
+TEST(BenchJson, RejectsWrongSchemaAndGarbage) {
+  EXPECT_THROW((void)parse_bench_json("{\"schema\": \"other-v9\"}"),
+               cisp::Error);
+  EXPECT_THROW((void)parse_bench_json("not json at all"), cisp::Error);
+  EXPECT_THROW((void)parse_bench_json(""), cisp::Error);
+}
+
+TEST(BenchJson, IgnoresUnknownKeysForForwardCompat) {
+  const std::string json =
+      "{\"schema\": \"cisp-bench-v1\", \"build\": \"b\", \"fast\": false,\n"
+      " \"threads\": 0, \"future_field\": {\"nested\": [1, 2, {\"x\": 3}]},\n"
+      " \"entries\": [{\"name\": \"k\", \"ns_per_op\": 10.0, \"reps\": 5,\n"
+      "               \"future_note\": \"ignored\"}]}";
+  const BenchReport parsed = parse_bench_json(json);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_EQ(parsed.entries[0].name, "k");
+}
+
+// ---------------------------------------------------------------------------
+// Comparator
+// ---------------------------------------------------------------------------
+
+TEST(BenchCompare, ClassifiesEveryStatus) {
+  const BenchReport baseline = make_report({{"regressed", 100.0, 1},
+                                            {"improved", 100.0, 1},
+                                            {"unchanged", 100.0, 1},
+                                            {"vanished", 100.0, 1}});
+  const BenchReport current = make_report({{"regressed", 125.0, 1},
+                                           {"improved", 50.0, 1},
+                                           {"unchanged", 103.0, 1},
+                                           {"brand_new", 7.0, 1}});
+  const auto rows = compare_bench(baseline, current, 0.10);
+  ASSERT_EQ(rows.size(), 5u);
+
+  const auto find = [&](const std::string& name) {
+    for (const auto& row : rows) {
+      if (row.name == name) return row;
+    }
+    ADD_FAILURE() << "no comparison row for " << name;
+    return rows.front();
+  };
+  EXPECT_EQ(find("regressed").status, BenchStatus::kRegress);
+  EXPECT_EQ(find("improved").status, BenchStatus::kImprove);
+  EXPECT_EQ(find("unchanged").status, BenchStatus::kOk);
+  EXPECT_EQ(find("vanished").status, BenchStatus::kMissing);
+  EXPECT_EQ(find("brand_new").status, BenchStatus::kAdded);
+  EXPECT_NEAR(find("regressed").delta, 0.25, 1e-9);
+
+  // A missing kernel counts as a regression (a deleted benchmark must not
+  // silently pass the gate); an added one does not.
+  std::ostringstream os;
+  EXPECT_EQ(render_bench_comparison(os, rows), 2u);
+  EXPECT_NE(os.str().find("REGRESS"), std::string::npos);
+  EXPECT_NE(os.str().find("MISSING"), std::string::npos);
+}
+
+TEST(BenchCompare, ThresholdIsStrict) {
+  const BenchReport baseline = make_report({{"k", 100.0, 1}});
+  const auto at = [&](double current_ns, double threshold) {
+    const auto rows =
+        compare_bench(baseline, make_report({{"k", current_ns, 1}}),
+                      threshold);
+    return rows.front().status;
+  };
+  EXPECT_EQ(at(110.0, 0.10), BenchStatus::kOk);      // exactly +10%
+  EXPECT_EQ(at(110.1, 0.10), BenchStatus::kRegress);  // just past the gate
+  EXPECT_EQ(at(90.0, 0.10), BenchStatus::kOk);       // exactly -10%
+  EXPECT_EQ(at(89.9, 0.10), BenchStatus::kImprove);
+  EXPECT_EQ(at(140.0, 0.50), BenchStatus::kOk);      // wider gate
+}
+
+TEST(BenchCompare, SelfCompareHasZeroRegressions) {
+  const BenchReport report = make_report({{"a", 10.0, 1}, {"b", 20.0, 1}});
+  const auto rows = compare_bench(report, report, 0.10);
+  std::ostringstream os;
+  EXPECT_EQ(render_bench_comparison(os, rows), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CLI: perf compare-only mode (no timing run)
+// ---------------------------------------------------------------------------
+
+struct TempDir {
+  explicit TempDir(const std::string& stem) {
+    path = (std::filesystem::temp_directory_path() /
+            ("cisp-perf-gate-test-" + stem))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+std::string write_file(const std::string& dir, const std::string& name,
+                       const std::string& text) {
+  const std::string path = (std::filesystem::path(dir) / name).string();
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+int cli(const std::vector<std::string>& args, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> argv = {"cisp_experiments"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = engine::run_cli(static_cast<int>(argv.size()), argv.data(),
+                                   out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+TEST(PerfCli, CompareOnlyGatesOnRegression) {
+  TempDir dir("gate");
+  const std::string base =
+      write_file(dir.path, "base.json",
+                 to_json(make_report({{"k1", 100.0, 1}, {"k2", 100.0, 1}})));
+  const std::string slow =
+      write_file(dir.path, "slow.json",
+                 to_json(make_report({{"k1", 150.0, 1}, {"k2", 100.0, 1}})));
+
+  // Self-compare: clean exit.
+  std::string out;
+  EXPECT_EQ(cli({"perf", "--current", base, "--against", base}, &out), 0);
+  EXPECT_NE(out.find("no regressions"), std::string::npos);
+
+  // A 50% regression fails the gate...
+  std::string err;
+  EXPECT_EQ(cli({"perf", "--current", slow, "--against", base}, &out, &err),
+            1);
+  EXPECT_NE(out.find("REGRESS"), std::string::npos);
+
+  // ...unless the gate is warn-only (the CI default this PR)...
+  EXPECT_EQ(cli({"perf", "--current", slow, "--against", base, "--warn-only"},
+                &out, &err),
+            0);
+  EXPECT_NE(err.find("warn-only"), std::string::npos);
+
+  // ...or the threshold is widened past the delta.
+  EXPECT_EQ(cli({"perf", "--current", slow, "--against", base, "--threshold",
+                 "0.6"},
+                &out),
+            0);
+}
+
+TEST(PerfCli, CompareOnlyFailsCleanlyOnBadInput) {
+  TempDir dir("bad");
+  const std::string good =
+      write_file(dir.path, "good.json", to_json(make_report({{"k", 1.0, 1}})));
+  const std::string bad =
+      write_file(dir.path, "bad.json", "{\"schema\": \"nope\"}");
+  EXPECT_NE(cli({"perf", "--current", bad, "--against", good}), 0);
+  EXPECT_NE(cli({"perf", "--current", good, "--against",
+                 (std::filesystem::path(dir.path) / "absent.json").string()}),
+            0);
+  EXPECT_NE(cli({"perf", "--bogus-flag"}), 0);
+}
+
+}  // namespace
+}  // namespace cisp::obs

@@ -349,6 +349,53 @@ TEST(Cache, SecondRunHitsAndSkipsRecomputation) {
   EXPECT_EQ(g_probe_executions.load(), 3);
 }
 
+TEST(Cache, ProvenanceIsStampedAndRoundTripsThroughTheCache) {
+  TempDir dir("cisp-provenance");
+  RunnerOptions options;
+  options.cache_dir = dir.path;
+  options.seed = 11;
+  options.fast = true;
+  options.threads = 2;
+  std::ostringstream log;
+  g_probe_executions = 0;
+
+  const RunReport fresh = run_experiment("unit_cache_probe", options, log);
+  ASSERT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.results.provenance_value("experiment"), "unit_cache_probe");
+  EXPECT_EQ(fresh.results.provenance_value("seed"), "11");
+  EXPECT_EQ(fresh.results.provenance_value("fast"), "1");
+  EXPECT_EQ(fresh.results.provenance_value("threads"), "2");
+  EXPECT_EQ(fresh.results.provenance_value("build"),
+            std::string(build_stamp()));
+  EXPECT_FALSE(fresh.results.provenance_value("wall_ms").empty());
+  EXPECT_EQ(fresh.results.provenance_value("absent_key"), "");
+
+  // The cache entry carries the provenance of the run that produced it.
+  const RunReport cached = run_experiment("unit_cache_probe", options, log);
+  ASSERT_TRUE(cached.cache_hit);
+  EXPECT_EQ(cached.results.provenance_value("experiment"),
+            "unit_cache_probe");
+  EXPECT_EQ(cached.results.provenance_value("seed"), "11");
+
+  // Provenance describes the run, not the result: equality and diff both
+  // ignore it, so entries from different machines / thread counts still
+  // compare byte-identical.
+  ResultSet a = fresh.results;
+  ResultSet b = cached.results;
+  b.set_provenance("threads", "64");
+  b.set_provenance("extra", "only-here");
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(diff_result_sets(a, b).identical());
+
+  // And no render sink leaks it.
+  std::ostringstream pretty;
+  render_pretty(b, pretty);
+  EXPECT_EQ(pretty.str().find("only-here"), std::string::npos);
+  std::ostringstream json;
+  render_json(b, "unit_cache_probe", json);
+  EXPECT_EQ(json.str().find("only-here"), std::string::npos);
+}
+
 TEST(Cache, CorruptEntryIsIgnoredAndRecomputed) {
   TempDir dir("cisp-cache-corrupt");
   RunnerOptions options;

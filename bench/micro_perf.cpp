@@ -9,6 +9,7 @@
 // paths at reduced instance sizes (comparisons are only valid
 // like-for-like; the BENCH json records the flag).
 
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <functional>
@@ -309,6 +310,123 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
     volatile double d = elastic_model->run(demands_1e5, run_options)
                             .stats.delivered_bps;
     (void)d;
+  });
+
+  // --- Control-plane repair kernels ----------------------------------------
+  // Per-draw cost of a 1000-draw failure sweep, like for like: both
+  // kernels replay the SAME cyclic delta sequence, the incremental
+  // repairer touching only affected trees/pairs, the oracle pricing every
+  // source and pair from scratch at each draw's cumulative state. The
+  // spread between the two rows is the whole point of the subsystem.
+  const std::size_t repair_nodes = bench::pick(ctx, std::size_t{120},
+                                               std::size_t{60});
+  net::LinkPlan repair_plan;
+  std::vector<std::array<double, 2>> repair_xy;
+  std::vector<net::TrafficDemand> repair_demands;
+  std::vector<std::size_t> repair_mw;
+  {
+    Rng rng(29);
+    repair_plan.node_count = repair_nodes;
+    for (std::size_t i = 0; i < repair_nodes; ++i) {
+      repair_xy.push_back(
+          {rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0)});
+    }
+    const auto km = [&](std::size_t a, std::size_t b) {
+      return std::hypot(repair_xy[a][0] - repair_xy[b][0],
+                        repair_xy[a][1] - repair_xy[b][1]);
+    };
+    const auto push = [&](std::size_t a, std::size_t b, double gbps,
+                          double path_stretch, bool mw) {
+      net::PlannedLink link;
+      link.a = static_cast<std::uint32_t>(a);
+      link.b = static_cast<std::uint32_t>(b);
+      link.rate_bps = gbps * 1e9;
+      link.latency_s = km(a, b) * path_stretch / geo::kSpeedOfLightKmPerS;
+      link.queue_packets = 100;
+      link.is_mw = mw;
+      if (mw) repair_mw.push_back(repair_plan.links.size());
+      repair_plan.links.push_back(link);
+    };
+    // Fiber chain + closing ring keep the plan connected under any MW
+    // churn; two MW shortcuts per node carry the low-stretch routes.
+    for (std::size_t i = 0; i + 1 < repair_nodes; ++i) {
+      push(i, i + 1, 400.0, 1.8, false);
+    }
+    push(0, repair_nodes - 1, 400.0, 1.8, false);
+    for (std::size_t i = 0; i < repair_nodes; ++i) {
+      for (int s = 0; s < 2; ++s) {
+        const std::size_t j = (i + 2 + rng.uniform_index(8)) % repair_nodes;
+        if (j != i) push(i, j, rng.uniform(2.0, 20.0), 1.0, true);
+      }
+    }
+    for (std::size_t i = 0; i < repair_nodes; ++i) {
+      for (int d = 0; d < 8; ++d) {
+        const std::size_t t = rng.uniform_index(repair_nodes);
+        // Rates sized so the intact plan runs uncongested and failures
+        // cause LOCAL congestion — the regime the repairer targets.
+        if (t != i) {
+          repair_demands.push_back({static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(t),
+                                    rng.uniform(5e7, 2e8)});
+        }
+      }
+    }
+  }
+  const net::flow::DirectKmFn repair_direct =
+      [&](std::uint32_t s, std::uint32_t t) {
+        return std::hypot(repair_xy[s][0] - repair_xy[t][0],
+                          repair_xy[s][1] - repair_xy[t][1]);
+      };
+  // Weather-shaped churn: sparse, MW-only, with calm epochs (the
+  // control_availability year saw churn in only ~half its epochs and a
+  // ~10% working set when it did). Disturbed draws down or derate one MW
+  // link and lift the disturbance from three disturbed draws ago, so at
+  // most three links are off-nominal at once; calm draws are empty.
+  std::vector<std::vector<net::control::LinkDelta>> draws;
+  {
+    Rng rng(31);
+    std::vector<std::size_t> window;
+    std::size_t disturbed = 0;
+    for (std::size_t d = 0; d < 1000; ++d) {
+      std::vector<net::control::LinkDelta> batch;
+      if (rng.chance(0.5)) {
+        const std::size_t link =
+            repair_mw[rng.uniform_index(repair_mw.size())];
+        if (disturbed++ % 2 == 0) {
+          batch.push_back({link, false});
+        } else {
+          batch.push_back({link, true, rng.uniform(0.3, 0.9)});
+        }
+        window.push_back(link);
+        if (window.size() > 3) {
+          batch.push_back({window.front(), true, 1.0});
+          window.erase(window.begin());
+        }
+      }
+      draws.push_back(std::move(batch));
+    }
+  }
+  net::control::RouteRepairer repairer(repair_plan, repair_demands, {},
+                                       repair_direct);
+  std::size_t draw_index = 0;
+  add("repair_incremental_draw", [&] {
+    volatile std::size_t touched =
+        repairer.apply(draws[draw_index]).touched_pairs;
+    (void)touched;
+    draw_index = (draw_index + 1) % draws.size();
+  });
+  std::vector<net::control::LinkState> full_state(repair_plan.links.size());
+  std::size_t full_index = 0;
+  add("repair_full_draw", [&] {
+    for (const auto& delta : draws[full_index]) {
+      full_state[delta.link] = {delta.up, delta.capacity_factor};
+    }
+    full_index = (full_index + 1) % draws.size();
+    volatile std::size_t n =
+        net::control::RouteRepairer::full_recompute(
+            repair_plan, repair_demands, {}, repair_direct, full_state)
+            .size();
+    (void)n;
   });
 
   // --- DES packet forwarding -----------------------------------------------

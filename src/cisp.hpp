@@ -47,6 +47,8 @@
 #include "infra/towers.hpp"     // IWYU pragma: export
 #include "lp/milp.hpp"          // IWYU pragma: export
 #include "net/builder.hpp"      // IWYU pragma: export
+#include "net/control/route_repair.hpp"      // IWYU pragma: export
+#include "net/control/weather_coupling.hpp"  // IWYU pragma: export
 #include "net/flow/alpha_fair.hpp"  // IWYU pragma: export
 #include "net/scenario/demand_scenario.hpp"  // IWYU pragma: export
 #include "net/scenario/failure_model.hpp"    // IWYU pragma: export

@@ -20,10 +20,10 @@ struct PathLess {
 }  // namespace
 
 std::vector<Path> yen_ksp(const Graph& graph, NodeId source, NodeId target,
-                          std::size_t k) {
+                          std::size_t k, const EdgeMask& mask) {
   CISP_REQUIRE(k >= 1, "k must be at least 1");
   std::vector<Path> result;
-  const Path first = shortest_path(graph, source, target);
+  const Path first = shortest_path(graph, source, target, mask);
   if (first.empty()) return result;
   result.push_back(first);
 
@@ -54,23 +54,27 @@ std::vector<Path> yen_ksp(const Graph& graph, NodeId source, NodeId target,
       }
       std::unordered_set<NodeId> banned_nodes(root.begin(), root.end() - 1);
 
-      const auto mask = [&](EdgeId eid) {
+      const auto spur_mask = [&](EdgeId eid) {
+        if (mask && !mask(eid)) return false;
         if (banned_edges.count(eid) > 0) return false;
         const Edge& e = graph.edge(eid);
         return banned_nodes.count(e.from) == 0 && banned_nodes.count(e.to) == 0;
       };
-      const Path spur = shortest_path(graph, spur_node, target, mask);
+      const Path spur = shortest_path(graph, spur_node, target, spur_mask);
       if (spur.empty()) continue;
 
       Path total;
       total.nodes = root;
       total.nodes.insert(total.nodes.end(), spur.nodes.begin() + 1,
                          spur.nodes.end());
-      // Root length: sum of edge weights along the root prefix.
+      // Root length: sum of edge weights along the root prefix, resolved
+      // over unmasked arcs only (a masked parallel arc must not shorten
+      // the root).
       double root_len = 0.0;
       for (std::size_t j = 0; j + 1 < root.size(); ++j) {
         double best = kUnreachable;
         for (const EdgeId eid : graph.out_edges(root[j])) {
+          if (mask && !mask(eid)) continue;
           if (graph.edge(eid).to == root[j + 1]) {
             best = std::min(best, graph.edge(eid).weight);
           }

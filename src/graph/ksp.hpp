@@ -8,9 +8,13 @@
 namespace cisp::graphs {
 
 /// Yen's algorithm: up to k loopless shortest paths, sorted by length.
-/// Fewer are returned when the graph runs out of alternatives.
+/// Fewer are returned when the graph runs out of alternatives. With a
+/// `mask`, disabled edges are invisible to every spur search AND to the
+/// root-prefix length resolution (the control plane searches detours on a
+/// degraded graph without rebuilding it).
 [[nodiscard]] std::vector<Path> yen_ksp(const Graph& graph, NodeId source,
-                                        NodeId target, std::size_t k);
+                                        NodeId target, std::size_t k,
+                                        const EdgeMask& mask = nullptr);
 
 /// Successive *node*-disjoint shortest paths: find the shortest path,
 /// remove its interior nodes, repeat (up to k times). Endpoint nodes are

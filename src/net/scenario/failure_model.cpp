@@ -29,14 +29,31 @@ FailureOutcome apply_failures(const LinkPlan& plan, const FailureModel& model) {
       break;
     }
     case FailureModel::Kind::RandomDown: {
-      CISP_REQUIRE(
-          model.down_probability >= 0.0 && model.down_probability <= 1.0,
-          "down probability must be in [0, 1]");
+      const bool per_link = !model.per_link_down_probability.empty();
+      if (per_link) {
+        CISP_REQUIRE(
+            model.per_link_down_probability.size() == plan.links.size(),
+            "per-link down probabilities must cover every plan link");
+        for (std::size_t i = 0; i < plan.links.size(); ++i) {
+          if (!plan.links[i].is_mw) continue;
+          const double p = model.per_link_down_probability[i];
+          CISP_REQUIRE(p >= 0.0 && p <= 1.0,
+                       "down probability must be in [0, 1]");
+        }
+      } else {
+        CISP_REQUIRE(
+            model.down_probability >= 0.0 && model.down_probability <= 1.0,
+            "down probability must be in [0, 1]");
+      }
+      // One draw per MW link in plan order (the determinism contract the
+      // header documents) — identical consumption with and without
+      // per-link probabilities.
       Rng rng(model.seed);
       for (std::size_t i = 0; i < plan.links.size(); ++i) {
-        if (plan.links[i].is_mw && rng.chance(model.down_probability)) {
-          down[i] = 1;
-        }
+        if (!plan.links[i].is_mw) continue;
+        const double p = per_link ? model.per_link_down_probability[i]
+                                  : model.down_probability;
+        if (rng.chance(p)) down[i] = 1;
       }
       break;
     }

@@ -13,6 +13,21 @@
 //                 independently with probability p (one Rng seeded from
 //                 `seed`, links drawn in plan order — deterministic per
 //                 seed, so replicated sweeps are reproducible).
+//
+// Determinism contract (pinned by scenario_test): RandomDown consumes one
+// Bernoulli draw per MW link, in plan-link order, from a single
+// Rng(seed) — fiber links consume NO draws. The Rng is the repo's
+// integer xoshiro256**, so a pinned (plan, seed) yields the identical
+// failed-link set on every platform and at every thread count
+// (apply_failures itself is single-threaded and pure; callers fan draws
+// across threads by deriving per-draw seeds, never by sharing one Rng).
+//
+// MW-ONLY FAILURE INVARIANT: no model kind ever takes a fiber link down.
+// Fiber is the paper's always-on backstop; the fiber mesh carries a
+// connectivity chain, so every demand stays routable on the degraded
+// plan and downstream routing (compute_routes, RouteRepairer baselines)
+// may assume it. Weather-coupled per-link probabilities keep the
+// invariant by construction (non-MW entries are ignored).
 
 #include <cstddef>
 #include <cstdint>
@@ -37,6 +52,13 @@ struct FailureModel {
   double down_probability = 0.0;
   /// RandomDown: draw seed.
   std::uint64_t seed = 0;
+  /// RandomDown: optional per-link probabilities, one entry per plan link
+  /// (weather coupling: control::weather_down_probabilities fills this
+  /// from rain-attenuation statistics). When non-empty it overrides
+  /// `down_probability`; entries for non-MW links are ignored — the
+  /// MW-only invariant holds regardless of what the vector says. Draw
+  /// consumption is unchanged: one draw per MW link in plan order.
+  std::vector<double> per_link_down_probability;
 };
 
 struct FailureOutcome {

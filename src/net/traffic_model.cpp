@@ -56,6 +56,8 @@ class PacketTrafficModel final : public TrafficModel {
 
   [[nodiscard]] TrafficReport run(const flow::DemandMatrix& demands,
                                   const TrafficRunOptions& options) override {
+    CISP_REQUIRE(options.paths == nullptr && options.capacity_factor == nullptr,
+                 "control-plane route/capacity overrides are fluid-only");
     const obs::TraceSpan span("traffic.packet", "traffic", "flows",
                               static_cast<double>(demands.flow_count()));
     SimInstance instance =
@@ -152,40 +154,110 @@ class FluidTrafficModel final : public TrafficModel {
         backend_ == TrafficBackend::Elastic ? "traffic.elastic"
                                             : "traffic.flow",
         "traffic", "flows", static_cast<double>(demands.flow_count()));
-    const TopologyView topo =
+    TopologyView topo =
         options.plan != nullptr
             ? view_from_plan(*options.plan)
             : view_from_plan(plan_links(input_, plan_, build_));
+    if (options.capacity_factor != nullptr) {
+      // Weather derates: per-duplex-link factors scale the edge
+      // capacities of the run's plan in place (latency is untouched).
+      const std::vector<double>& factors = *options.capacity_factor;
+      CISP_REQUIRE(factors.size() * 2 == topo.view.capacity_bps.size(),
+                   "capacity factors must cover every plan link");
+      for (std::size_t e = 0; e < topo.view.capacity_bps.size(); ++e) {
+        const double factor = factors[topo.view.edge_to_link[e] / 2];
+        CISP_REQUIRE(factor >= 0.0 && factor <= 1.0,
+                     "capacity factor must be in [0, 1]");
+        topo.view.capacity_bps[e] *= factor;
+      }
+    }
     const auto demand_list = demands.to_demands();
-    const RoutingResult routes =
-        compute_routes(topo.view, demand_list, options.scheme);
+    RoutingResult routes;
+    if (options.paths != nullptr) {
+      // Control-plane override: routes were repaired upstream; recover
+      // the offline predictions compute_routes would have reported,
+      // skipping denied (empty-path) pairs.
+      CISP_REQUIRE(options.paths->size() == demand_list.size(),
+                   "route override must cover every demand pair");
+      routes.paths = *options.paths;
+      std::vector<double> load_bps(topo.view.capacity_bps.size(), 0.0);
+      double latency_acc = 0.0;
+      double rate_acc = 0.0;
+      for (std::size_t f = 0; f < routes.paths.size(); ++f) {
+        if (routes.paths[f].empty()) continue;
+        double latency_s = 0.0;
+        for (const graphs::EdgeId eid :
+             path_edges(topo.view.latency_graph, routes.paths[f])) {
+          latency_s += topo.view.latency_graph.edge(eid).weight;
+          load_bps[eid] += demand_list[f].rate_bps;
+        }
+        latency_acc += latency_s * demand_list[f].rate_bps;
+        rate_acc += demand_list[f].rate_bps;
+      }
+      routes.mean_path_latency_s = rate_acc > 0.0 ? latency_acc / rate_acc
+                                                  : 0.0;
+      for (std::size_t e = 0; e < load_bps.size(); ++e) {
+        if (topo.view.capacity_bps[e] <= 0.0) continue;
+        routes.max_link_utilization =
+            std::max(routes.max_link_utilization,
+                     load_bps[e] / topo.view.capacity_bps[e]);
+      }
+    } else {
+      routes = compute_routes(topo.view, demand_list, options.scheme);
+    }
+
+    // Denied pairs (empty paths) are excluded from the allocation — the
+    // allocators require routable flows — and delivered zero; their
+    // offered demand still counts in the monitors.
+    std::vector<std::size_t> served;
+    served.reserve(demands.pairs().size());
+    for (std::size_t f = 0; f < routes.paths.size(); ++f) {
+      if (!routes.paths[f].empty()) served.push_back(f);
+    }
+    const bool all_served = served.size() == demands.pairs().size();
 
     std::vector<double> rates;
-    rates.reserve(demands.pairs().size());
-    for (const flow::PairDemand& pair : demands.pairs()) {
-      rates.push_back(pair.rate_bps);
+    rates.reserve(served.size());
+    std::vector<graphs::Path> served_paths;
+    if (!all_served) served_paths.reserve(served.size());
+    for (const std::size_t f : served) {
+      rates.push_back(demands.pairs()[f].rate_bps);
+      if (!all_served) served_paths.push_back(routes.paths[f]);
     }
+    const std::vector<graphs::Path>& alloc_paths =
+        all_served ? routes.paths : served_paths;
+
     flow::Allocation allocation;
-    if (backend_ == TrafficBackend::Elastic) {
+    if (served.empty()) {
+      allocation.edge_load_bps.assign(topo.view.capacity_bps.size(), 0.0);
+    } else if (backend_ == TrafficBackend::Elastic) {
       // Per-user fairness: each aggregated pair's utility is weighted by
       // the users fused into it.
       std::vector<double> weights;
-      weights.reserve(demands.pairs().size());
-      for (const flow::PairDemand& pair : demands.pairs()) {
-        weights.push_back(
-            static_cast<double>(std::max<std::uint64_t>(1, pair.users)));
+      weights.reserve(served.size());
+      for (const std::size_t f : served) {
+        weights.push_back(static_cast<double>(
+            std::max<std::uint64_t>(1, demands.pairs()[f].users)));
       }
       flow::ElasticOptions elastic;
       elastic.alpha = options.alpha;
       elastic.threads = options.threads;
-      allocation = flow::alpha_fair_allocate(topo.view, routes.paths, rates,
+      allocation = flow::alpha_fair_allocate(topo.view, alloc_paths, rates,
                                              weights, elastic);
     } else {
       flow::AllocatorOptions alloc_options;
       alloc_options.threads = options.threads;
       allocation =
-          flow::max_min_allocate(topo.view, routes.paths, rates,
+          flow::max_min_allocate(topo.view, alloc_paths, rates,
                                  alloc_options);
+    }
+    if (!all_served) {
+      // Scatter the sub-allocation back to full pair order.
+      std::vector<double> full_rates(demands.pairs().size(), 0.0);
+      for (std::size_t i = 0; i < served.size(); ++i) {
+        full_rates[served[i]] = allocation.rate_bps[i];
+      }
+      allocation.rate_bps = std::move(full_rates);
     }
 
     TrafficReport report;

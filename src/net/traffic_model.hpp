@@ -63,6 +63,19 @@ struct TrafficRunOptions {
   /// instead of planning from (input, capacity plan) — the failure models
   /// hand in a plan with links already cut. Must outlive the run.
   const LinkPlan* plan = nullptr;
+  /// Control-plane route override (fluid backends only): one path per
+  /// demand-matrix pair, graph-edge-pinned over the run's plan, as
+  /// produced by control::RouteRepairer::traffic_paths(). An EMPTY path
+  /// marks a pair the detour policy DENIED: its offered demand is counted
+  /// but it is excluded from allocation and delivered zero. When set,
+  /// `scheme` is ignored. Must outlive the run; the packet backend
+  /// rejects it.
+  const std::vector<graphs::Path>* paths = nullptr;
+  /// Per-duplex-link capacity derate factors in [0, 1] over the run's
+  /// plan (control::RouteRepairer::capacity_factors(): weather-derated
+  /// links < 1, downed links 0 — the paths override already avoids the
+  /// latter). Fluid backends only; must outlive the run.
+  const std::vector<double>* capacity_factor = nullptr;
 };
 
 /// Backend-comparable summary of one run. Packet fills measured

@@ -202,6 +202,47 @@ TEST(PerfCli, CompareOnlyGatesOnRegression) {
             0);
 }
 
+TEST(PerfCli, HardForOverridesWarnOnly) {
+  TempDir dir("hardfor");
+  const std::string base =
+      write_file(dir.path, "base.json",
+                 to_json(make_report(
+                     {{"greedy_solver", 100.0, 1}, {"other", 100.0, 1}})));
+  const std::string slow =
+      write_file(dir.path, "slow.json",
+                 to_json(make_report(
+                     {{"greedy_solver", 150.0, 1}, {"other", 100.0, 1}})));
+
+  // A glob matching the regressed kernel fails the job even under
+  // --warn-only (the CI shape for the solver/allocator hot paths).
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"perf", "--current", slow, "--against", base, "--warn-only",
+                 "--hard-for", "*solver*"},
+                &out, &err),
+            1);
+  EXPECT_NE(err.find("HARD regression"), std::string::npos);
+
+  // A glob that matches nothing leaves the gate warn-only.
+  EXPECT_EQ(cli({"perf", "--current", slow, "--against", base, "--warn-only",
+                 "--hard-for", "max_min*"},
+                &out, &err),
+            0);
+
+  // '?' matches exactly one character; the flag is repeatable and any
+  // matching glob escalates.
+  EXPECT_EQ(cli({"perf", "--current", slow, "--against", base, "--warn-only",
+                 "--hard-for", "max_min*", "--hard-for", "greedy_solve?"},
+                &out, &err),
+            1);
+
+  // Without a regression the globs are inert.
+  EXPECT_EQ(cli({"perf", "--current", base, "--against", base, "--hard-for",
+                 "*"},
+                &out, &err),
+            0);
+}
+
 TEST(PerfCli, CompareOnlyFailsCleanlyOnBadInput) {
   TempDir dir("bad");
   const std::string good =

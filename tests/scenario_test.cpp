@@ -16,6 +16,7 @@
 #include "net/scenario/failure_model.hpp"
 #include "net/traffic_model.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace cisp::net {
 namespace {
@@ -217,6 +218,59 @@ TEST(FailureModel, RandomDrawsAreSeededAndMwOnly) {
   model.down_probability = 0.0;
   const auto none = scenario::apply_failures(plan, model);
   EXPECT_TRUE(none.failed_links.empty());
+}
+
+TEST(FailureModel, RandomDrawConsumptionContractIsPinned) {
+  // The header's determinism contract, pinned by an in-test reference
+  // reimplementation: one Bernoulli draw per MW link in plan order from a
+  // single Rng(seed); fiber consumes NO draws. Rng is xoshiro256** on
+  // integers, so this holds across platforms and thread counts.
+  const auto plan = toy_plan();
+  scenario::FailureModel model;
+  model.kind = scenario::FailureModel::Kind::RandomDown;
+  model.down_probability = 0.4;
+  model.seed = 123;
+  const auto outcome = scenario::apply_failures(plan, model);
+  Rng rng(123);
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < plan.links.size(); ++i) {
+    if (!plan.links[i].is_mw) continue;
+    if (rng.chance(0.4)) expected.push_back(i);
+  }
+  EXPECT_EQ(outcome.failed_links, expected);
+}
+
+TEST(FailureModel, PerLinkProbabilitiesOverrideTheScalar) {
+  const auto plan = toy_plan();
+  scenario::FailureModel model;
+  model.kind = scenario::FailureModel::Kind::RandomDown;
+  model.seed = 55;
+
+  // All-zero: nothing fails, whatever the scalar says.
+  model.down_probability = 1.0;
+  model.per_link_down_probability.assign(plan.links.size(), 0.0);
+  EXPECT_TRUE(scenario::apply_failures(plan, model).failed_links.empty());
+
+  // Certain failure on MW link 1 only; a 1.0 on FIBER entries is ignored
+  // (the MW-only invariant) and consumes no draw.
+  model.per_link_down_probability = {0.0, 1.0, 0.0, 1.0, 1.0};
+  const auto one = scenario::apply_failures(plan, model);
+  EXPECT_EQ(one.failed_links, (std::vector<std::size_t>{1}));
+
+  // A uniform per-link vector must reproduce the scalar draw exactly —
+  // identical consumption order is part of the contract.
+  model.down_probability = 0.5;
+  model.per_link_down_probability.clear();
+  const auto scalar = scenario::apply_failures(plan, model);
+  model.per_link_down_probability.assign(plan.links.size(), 0.5);
+  const auto vectored = scenario::apply_failures(plan, model);
+  EXPECT_EQ(scalar.failed_links, vectored.failed_links);
+
+  // Size mismatches and out-of-range probabilities throw.
+  model.per_link_down_probability = {0.5, 0.5};
+  EXPECT_THROW((void)scenario::apply_failures(plan, model), cisp::Error);
+  model.per_link_down_probability.assign(plan.links.size(), 1.5);
+  EXPECT_THROW((void)scenario::apply_failures(plan, model), cisp::Error);
 }
 
 TEST(FailureModel, ParsesKinds) {

@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "bench_common.hpp"
+#include "net/timeline/timeline.hpp"
 
 namespace {
 using namespace cisp;
@@ -427,6 +428,53 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
             repair_plan, repair_demands, {}, repair_direct, full_state)
             .size();
     (void)n;
+  });
+
+  // --- Timeline kernels ----------------------------------------------------
+  // Per-epoch cost of the streaming timeline, like for like: both kernels
+  // evaluate the SAME epoch sequence (diurnal swing + the weather-shaped
+  // churn above, replayed as an absolute factor schedule) on the repair
+  // fixture. The warm kernel carries routes, demand rewrites and
+  // allocator structure epoch-to-epoch; the cold kernel is the
+  // independent-cell rebuild every epoch paid before this subsystem
+  // existed. The spread between the two rows is the timeline's speedup.
+  std::vector<std::vector<double>> timeline_schedule;
+  {
+    std::vector<double> factors(repair_plan.links.size(), 1.0);
+    for (const auto& batch : draws) {
+      for (const auto& delta : batch) {
+        factors[delta.link] = delta.up ? delta.capacity_factor : 0.0;
+      }
+      timeline_schedule.push_back(factors);
+    }
+  }
+  net::flow::DemandMatrix timeline_demands = [&] {
+    std::vector<net::flow::PairDemand> pairs;
+    for (const auto& demand : repair_demands) {
+      pairs.push_back({demand.src, demand.dst, 1, demand.rate_bps});
+    }
+    return net::flow::DemandMatrix::from_pairs(std::move(pairs));
+  }();
+  net::timeline::TimelineOptions timeline_options;
+  timeline_options.factor_schedule = &timeline_schedule;
+  timeline_options.diurnal.tz_offset_hours.resize(repair_nodes);
+  for (std::size_t i = 0; i < repair_nodes; ++i) {
+    // Synthetic solar offsets from the fixture's x coordinate (~4 hours
+    // across the 3000 km span), so the diurnal swing moves demand around.
+    timeline_options.diurnal.tz_offset_hours[i] = repair_xy[i][0] / 750.0;
+  }
+  net::timeline::TimelineDriver timeline_driver(
+      repair_plan, {}, timeline_demands, repair_direct, timeline_options);
+  add("timeline_year_step", [&] {
+    volatile double d = timeline_driver.step().delivered_bps;
+    (void)d;
+  });
+  std::size_t cold_epoch = 0;
+  add("timeline_year_step_cold", [&] {
+    volatile double d = timeline_driver.evaluate_cold(cold_epoch)
+                            .delivered_bps;
+    (void)d;
+    cold_epoch = (cold_epoch + 1) % timeline_schedule.size();
   });
 
   // --- DES packet forwarding -----------------------------------------------

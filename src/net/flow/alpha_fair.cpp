@@ -47,6 +47,7 @@ Allocation alpha_fair_allocate(const SimTopologyView& view,
     AllocatorOptions mm;
     mm.threads = options.threads;
     mm.parallel_cutoff = options.parallel_cutoff;
+    mm.warm = options.warm;
     return max_min_allocate(view, paths, demand_bps, mm);
   }
 
@@ -62,17 +63,15 @@ Allocation alpha_fair_allocate(const SimTopologyView& view,
   }
   const std::size_t cutoff = std::max<std::size_t>(1, options.parallel_cutoff);
 
-  // Per-flow edge sequences and the edge -> flows incidence.
-  std::vector<std::vector<graphs::EdgeId>> flow_edges(flows);
-  std::vector<std::vector<std::uint32_t>> edge_flows(edges);
-  for (std::size_t f = 0; f < flows; ++f) {
-    CISP_REQUIRE(!paths[f].empty(), "flow is unroutable");
-    flow_edges[f] = path_edges(view.latency_graph, paths[f]);
-    if (demand_bps[f] <= 0.0) continue;
-    for (const graphs::EdgeId eid : flow_edges[f]) {
-      edge_flows[eid].push_back(static_cast<std::uint32_t>(f));
-    }
-  }
+  // Per-flow edge sequences and the edge -> flows incidence. The warm
+  // state caches the structure across solves; the demand-gated key keeps
+  // it distinct from the max-min flavor (which indexes ALL flows).
+  WarmState scratch;
+  WarmState& state = options.warm != nullptr ? *options.warm : scratch;
+  detail::ensure_incidence(view, paths, demand_bps, /*demand_gated=*/true,
+                           state);
+  const auto& flow_edges = state.flow_edges;
+  const auto& edge_flows = state.edge_flows;
   std::vector<std::size_t> count(edges, 0);
   for (std::size_t e = 0; e < edges; ++e) count[e] = edge_flows[e].size();
 
@@ -114,9 +113,22 @@ Allocation alpha_fair_allocate(const SimTopologyView& view,
   if (active == 0) return out;
 
   const double inv_alpha = 1.0 / options.alpha;
+  // Dual price seed: cold starts price every loaded link at 1.0; a warm
+  // start reuses the previous solve's final prices (clamped back into the
+  // projection range), which sit near the new optimum when the epoch's
+  // capacities/demands moved only a little. The seed changes the iterate
+  // path, never the stopping criterion.
   std::vector<double> price(edges, 0.0);
+  const bool seed_warm = options.warm != nullptr && options.warm->has_price &&
+                         options.warm->price.size() == edges;
   for (std::size_t e = 0; e < edges; ++e) {
-    if (count[e] > 0) price[e] = 1.0;
+    if (count[e] == 0) continue;
+    if (seed_warm && std::isfinite(options.warm->price[e]) &&
+        options.warm->price[e] > 0.0) {
+      price[e] = std::clamp(options.warm->price[e], kPriceFloor, 1e12);
+    } else {
+      price[e] = 1.0;
+    }
   }
   std::vector<double> rate(flows, 0.0);
   std::vector<double> load(edges, 0.0);
@@ -188,6 +200,11 @@ Allocation alpha_fair_allocate(const SimTopologyView& view,
     });
   }
 
+  if (options.warm != nullptr) {
+    options.warm->price = price;
+    options.warm->has_price = true;
+  }
+
   // Feasibility repair: a not-fully-converged dual iterate can overshoot a
   // capacity slightly; scale every flow by its worst residual overload so
   // the allocation is strictly feasible.
@@ -221,6 +238,9 @@ Allocation alpha_fair_allocate(const SimTopologyView& view,
   for (std::size_t f = 0; f < flows; ++f) {
     residual_demand[f] = std::max(0.0, demand[f] - rate[f]);
   }
+  // The fill runs cold on purpose: it would need the max-min-flavor
+  // incidence (all flows, not demand-gated), and sharing `state` would
+  // evict the alpha-fair structure cached above every epoch.
   AllocatorOptions fill_options;
   fill_options.threads = options.threads;
   fill_options.parallel_cutoff = options.parallel_cutoff;

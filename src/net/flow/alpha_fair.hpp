@@ -52,6 +52,14 @@ struct ElasticOptions {
   /// Relative residual (capacity violation / complementary slackness) at
   /// which the price iteration stops.
   double tolerance = 1e-4;
+  /// Optional warm state carried across solves (nullptr = cold start).
+  /// Reuses the incidence structure when the paths are unchanged and
+  /// seeds the dual prices from the previous solve; the final prices are
+  /// written back. Warm results satisfy the same `tolerance` residual as
+  /// cold results but are NOT byte-identical (the iterate path differs).
+  /// In the max-min limit the state is forwarded to max_min_allocate,
+  /// whose warm results ARE byte-identical. Must outlive the call.
+  WarmState* warm = nullptr;
 };
 
 /// Alphas at or above this are treated as the max-min limit.

@@ -107,6 +107,20 @@ DemandMatrix DemandMatrix::from_pairs(std::vector<PairDemand> pairs) {
   return out;
 }
 
+void DemandMatrix::check_rate(double rate) {
+  CISP_REQUIRE(std::isfinite(rate) && rate >= 0.0,
+               "pair rate must be finite and non-negative");
+}
+
+void DemandMatrix::scale_rates(double factor) {
+  CISP_REQUIRE(std::isfinite(factor) && factor >= 0.0,
+               "rate scale must be finite and non-negative");
+  update_rates(
+      [&](std::size_t, const PairDemand& pair) {
+        return pair.rate_bps * factor;
+      });
+}
+
 std::vector<TrafficDemand> DemandMatrix::to_demands() const {
   std::vector<TrafficDemand> demands;
   demands.reserve(pairs_.size());

@@ -59,11 +59,34 @@ class DemandMatrix {
   [[nodiscard]] std::uint64_t total_users() const noexcept { return users_; }
   [[nodiscard]] double total_rate_bps() const noexcept { return rate_bps_; }
 
+  /// In-place rate rewrite for streaming timelines: pair i's offered rate
+  /// becomes `rate_of(i, pairs()[i])` and the rate total is recomputed.
+  /// Unlike from_pairs, zero-rate pairs are KEPT — pair indices (and thus
+  /// flow ids, routes, and warm allocator state) stay stable across
+  /// epochs — and users are never re-apportioned. Rates must be finite
+  /// and non-negative.
+  template <typename Fn>
+  void update_rates(Fn&& rate_of) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+      const double rate = rate_of(i, pairs_[i]);
+      check_rate(rate);
+      pairs_[i].rate_bps = rate;
+      total += rate;
+    }
+    rate_bps_ = total;
+  }
+
+  /// Uniform in-place scaling (e.g. demand growth): every rate *= factor.
+  void scale_rates(double factor);
+
   /// The packet layer's demand list, in pair order (flow ids there are
   /// indices into pairs()).
   [[nodiscard]] std::vector<TrafficDemand> to_demands() const;
 
  private:
+  static void check_rate(double rate);
+
   std::vector<PairDemand> pairs_;
   std::uint64_t users_ = 0;
   double rate_bps_ = 0.0;

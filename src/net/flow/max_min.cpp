@@ -18,6 +18,66 @@ using detail::sharded_min;
 
 }  // namespace
 
+namespace detail {
+
+namespace {
+
+/// FNV-1a over a 64-bit word stream.
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+}
+
+}  // namespace
+
+std::uint64_t warm_incidence_key(const SimTopologyView& view,
+                                 const std::vector<graphs::Path>& paths,
+                                 const std::vector<double>& demand_bps,
+                                 bool demand_gated) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  mix(h, demand_gated ? 0xa1fa5u : 0x3a3);
+  mix(h, view.latency_graph.node_count());
+  mix(h, view.latency_graph.edge_count());
+  mix(h, paths.size());
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    mix(h, paths[f].nodes.size());
+    for (const graphs::NodeId n : paths[f].nodes) mix(h, n);
+    mix(h, paths[f].edges.size());
+    for (const graphs::EdgeId e : paths[f].edges) mix(h, e);
+    if (demand_gated) mix(h, demand_bps[f] > 0.0 ? 1u : 0u);
+  }
+  return h;
+}
+
+void ensure_incidence(const SimTopologyView& view,
+                      const std::vector<graphs::Path>& paths,
+                      const std::vector<double>& demand_bps,
+                      bool demand_gated, WarmState& state) {
+  const std::size_t flows = paths.size();
+  const std::size_t edges = view.latency_graph.edge_count();
+  const std::uint64_t key =
+      warm_incidence_key(view, paths, demand_bps, demand_gated);
+  if (state.has_incidence && state.incidence_key == key &&
+      state.flow_edges.size() == flows && state.edge_flows.size() == edges) {
+    ++state.incidence_reuses;
+    return;
+  }
+  state.flow_edges.assign(flows, {});
+  state.edge_flows.assign(edges, {});
+  for (std::size_t f = 0; f < flows; ++f) {
+    CISP_REQUIRE(!paths[f].empty(), "flow is unroutable");
+    state.flow_edges[f] = path_edges(view.latency_graph, paths[f]);
+    if (demand_gated && demand_bps[f] <= 0.0) continue;
+    for (const graphs::EdgeId eid : state.flow_edges[f]) {
+      state.edge_flows[eid].push_back(static_cast<std::uint32_t>(f));
+    }
+  }
+  state.incidence_key = key;
+  state.has_incidence = true;
+}
+
+}  // namespace detail
+
 Allocation max_min_allocate(const SimTopologyView& view,
                             const std::vector<graphs::Path>& paths,
                             const std::vector<double>& demand_bps,
@@ -35,16 +95,16 @@ Allocation max_min_allocate(const SimTopologyView& view,
     pool = std::make_unique<engine::Executor>(options.threads);
   }
 
-  // Per-flow edge sequences and the edge -> flows incidence (freeze lists).
-  std::vector<std::vector<graphs::EdgeId>> flow_edges(flows);
-  std::vector<std::vector<std::uint32_t>> edge_flows(edges);
-  for (std::size_t f = 0; f < flows; ++f) {
-    CISP_REQUIRE(!paths[f].empty(), "flow is unroutable");
-    flow_edges[f] = path_edges(view.latency_graph, paths[f]);
-    for (const graphs::EdgeId eid : flow_edges[f]) {
-      edge_flows[eid].push_back(static_cast<std::uint32_t>(f));
-    }
-  }
+  // Per-flow edge sequences and the edge -> flows incidence (freeze
+  // lists). With a warm state the build is skipped when the fingerprint
+  // matches the previous solve; the fill below runs identically on the
+  // cached structure, so warm results are byte-identical to cold ones.
+  WarmState scratch;
+  WarmState& state = options.warm != nullptr ? *options.warm : scratch;
+  detail::ensure_incidence(view, paths, demand_bps, /*demand_gated=*/false,
+                           state);
+  const auto& flow_edges = state.flow_edges;
+  const auto& edge_flows = state.edge_flows;
 
   Allocation out;
   out.rate_bps.assign(flows, 0.0);

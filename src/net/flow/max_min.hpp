@@ -14,11 +14,37 @@
 // depends on chunk boundaries.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "net/routing.hpp"
 
 namespace cisp::net::flow {
+
+/// Epoch-to-epoch allocator state for streaming timelines. Holds the
+/// per-flow edge sequences and the edge -> flows incidence derived from
+/// one (graph, paths) pair — the dominant setup cost of a solve — plus
+/// the alpha-fair dual prices of the previous solve. A fingerprint over
+/// the path node/edge sequences guards reuse: a warm state whose paths no
+/// longer match is silently rebuilt, so the result NEVER depends on the
+/// caller invalidating the cache correctly. Warm-started max-min results
+/// are byte-identical to cold starts (the progressive fill re-runs on
+/// the cached structure); warm-started alpha-fair results satisfy the
+/// same KKT residual as cold starts (only the price seed changes).
+struct WarmState {
+  /// Incidence cache (structure only — no rates are carried over).
+  std::vector<std::vector<graphs::EdgeId>> flow_edges;
+  std::vector<std::vector<std::uint32_t>> edge_flows;
+  std::uint64_t incidence_key = 0;
+  bool has_incidence = false;
+  /// Dual prices of the previous alpha-fair solve, in its normalized
+  /// units. Seeding the next solve from these replaces the cold all-ones
+  /// start; convergence is still driven to the same residual.
+  std::vector<double> price;
+  bool has_price = false;
+  /// Solves that reused the cached incidence (observability + tests).
+  std::size_t incidence_reuses = 0;
+};
 
 struct AllocatorOptions {
   /// Worker threads for the sharded allocation rounds. 1 = fully serial
@@ -27,6 +53,9 @@ struct AllocatorOptions {
   /// Below this flow count the rounds run serially even with a pool —
   /// queue traffic would cost more than it buys.
   std::size_t parallel_cutoff = 4096;
+  /// Optional warm state carried across solves (nullptr = cold start).
+  /// Must outlive the call; the allocator updates it in place.
+  WarmState* warm = nullptr;
 };
 
 struct Allocation {
@@ -57,5 +86,26 @@ struct Allocation {
     const SimTopologyView& view, const std::vector<graphs::Path>& paths,
     const std::vector<double>& demand_bps,
     const AllocatorOptions& options = {});
+
+namespace detail {
+
+/// Fingerprint of the (graph shape, paths, demand-positivity) triple that
+/// determines an allocator's incidence structure. `demand_gated` selects
+/// the alpha-fair flavor, whose edge -> flows lists skip zero-demand
+/// flows (max-min keeps them); the two flavors never collide on a key.
+[[nodiscard]] std::uint64_t warm_incidence_key(
+    const SimTopologyView& view, const std::vector<graphs::Path>& paths,
+    const std::vector<double>& demand_bps, bool demand_gated);
+
+/// Returns `state` filled with the incidence for (view, paths): reuses
+/// the cached structure when the fingerprint matches, rebuilds otherwise.
+/// Validates that every path is routable on the build path (a cache hit
+/// already validated the identical paths).
+void ensure_incidence(const SimTopologyView& view,
+                      const std::vector<graphs::Path>& paths,
+                      const std::vector<double>& demand_bps,
+                      bool demand_gated, WarmState& state);
+
+}  // namespace detail
 
 }  // namespace cisp::net::flow

@@ -51,18 +51,38 @@ std::vector<double> timezone_offsets(const std::vector<geo::LatLon>& sites) {
   return offsets;
 }
 
+double wrap_utc_hour(double hour) {
+  CISP_REQUIRE(std::isfinite(hour), "hour must be finite");
+  double wrapped = std::fmod(hour, 24.0);
+  if (wrapped < 0.0) wrapped += 24.0;
+  return wrapped;
+}
+
 double diurnal_activity(const DiurnalProfile& profile, std::size_t site,
                         double utc_hour) {
   CISP_REQUIRE(site < profile.tz_offset_hours.size(),
                "diurnal profile does not cover this site");
   CISP_REQUIRE(profile.amplitude >= 0.0 && profile.floor_activity >= 0.0,
                "diurnal amplitude/floor must be non-negative");
-  const double local =
-      utc_hour + profile.tz_offset_hours[site] - profile.peak_local_hour;
+  // Wrap the phase, not just the input hour: a timeline's monotonically
+  // increasing hours would otherwise push the cosine argument far from
+  // zero, where argument-reduction error breaks the day-over-day
+  // periodicity (fmod is exact, so wrapping keeps it).
+  const double local = wrap_utc_hour(
+      utc_hour + profile.tz_offset_hours[site] - profile.peak_local_hour);
   constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
   const double activity =
       1.0 + profile.amplitude * std::cos(kTwoPi * local / 24.0);
   return std::max(profile.floor_activity, activity);
+}
+
+std::vector<double> activity_factors(const DiurnalProfile& profile,
+                                     double utc_hour) {
+  std::vector<double> factors(profile.tz_offset_hours.size(), 0.0);
+  for (std::size_t site = 0; site < factors.size(); ++site) {
+    factors[site] = diurnal_activity(profile, site, utc_hour);
+  }
+  return factors;
 }
 
 flow::DemandMatrix apply_diurnal(const flow::DemandMatrix& base,
@@ -75,6 +95,29 @@ flow::DemandMatrix apply_diurnal(const flow::DemandMatrix& base,
     pair.rate_bps *= std::sqrt(a_src * a_dst);
   }
   return flow::DemandMatrix::from_pairs(std::move(pairs));
+}
+
+void apply_diurnal_in_place(const flow::DemandMatrix& base,
+                            const DiurnalProfile& profile, double utc_hour,
+                            double scale, flow::DemandMatrix& out) {
+  CISP_REQUIRE(out.flow_count() == base.flow_count(),
+               "in-place diurnal target must mirror the base pair set");
+  CISP_REQUIRE(std::isfinite(scale) && scale >= 0.0,
+               "diurnal scale must be finite and non-negative");
+  const std::vector<double> activity = activity_factors(profile, utc_hour);
+  out.update_rates([&](std::size_t i, const flow::PairDemand& pair) {
+    const flow::PairDemand& from = base.pairs()[i];
+    CISP_REQUIRE(from.src == pair.src && from.dst == pair.dst,
+                 "in-place diurnal target must mirror the base pair set");
+    CISP_REQUIRE(from.src < activity.size() && from.dst < activity.size(),
+                 "diurnal profile does not cover this site");
+    // Same expression and evaluation order as apply_diurnal, so scale = 1
+    // reproduces its rates byte-for-byte.
+    double rate =
+        from.rate_bps * std::sqrt(activity[from.src] * activity[from.dst]);
+    if (scale != 1.0) rate *= scale;
+    return rate;
+  });
 }
 
 std::vector<std::vector<double>> blend_traffic(

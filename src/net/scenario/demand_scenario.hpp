@@ -74,11 +74,24 @@ struct DiurnalProfile {
 [[nodiscard]] std::vector<double> timezone_offsets(
     const std::vector<geo::LatLon>& sites);
 
-/// The activity factor of `site` at `utc_hour` (hours in [0, 24)):
-/// a cosine of local time peaking at peak_local_hour, clamped at the
-/// activity floor.
+/// Wraps an hour value from the full real line into [0, 24) (negative
+/// inputs wrap up: -1 -> 23). Streaming timelines feed monotonically
+/// increasing hours (epoch 25 = day 2, 01:00); every hour-of-day consumer
+/// in this layer normalizes through here.
+[[nodiscard]] double wrap_utc_hour(double hour);
+
+/// The activity factor of `site` at `utc_hour`: a cosine of local time
+/// peaking at peak_local_hour, clamped at the activity floor. Hours are
+/// taken from the full real line and wrapped into [0, 24) internally, so
+/// diurnal_activity(h) == diurnal_activity(h + 24) exactly whenever
+/// h + 24 is exactly representable.
 [[nodiscard]] double diurnal_activity(const DiurnalProfile& profile,
                                       std::size_t site, double utc_hour);
+
+/// Per-site activity factors at one epoch — diurnal_activity evaluated
+/// once per site instead of twice per pair (the in-place timeline path).
+[[nodiscard]] std::vector<double> activity_factors(
+    const DiurnalProfile& profile, double utc_hour);
 
 /// Evaluates the diurnal scenario at one epoch: every pair's offered rate
 /// scales by the geometric mean of its endpoints' activity (both ends must
@@ -87,6 +100,17 @@ struct DiurnalProfile {
 [[nodiscard]] flow::DemandMatrix apply_diurnal(const flow::DemandMatrix& base,
                                                const DiurnalProfile& profile,
                                                double utc_hour);
+
+/// The streaming counterpart of apply_diurnal: rewrites `out`'s rates in
+/// place from `base`'s (rate_i = base_i * sqrt(a_src * a_dst) * scale,
+/// `scale` = e.g. demand growth) without re-apportioning users or
+/// reallocating pairs. `out` must hold the same pair sequence as `base`
+/// (start from a copy). With scale = 1 the rates are byte-identical to
+/// apply_diurnal's; zero-rate pairs are kept, so with a positive activity
+/// floor the two agree pair-for-pair.
+void apply_diurnal_in_place(const flow::DemandMatrix& base,
+                            const DiurnalProfile& profile, double utc_hour,
+                            double scale, flow::DemandMatrix& out);
 
 // ---------------------------------------------------------------------------
 // Traffic-mix blends

@@ -1,0 +1,356 @@
+#include "net/timeline/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace cisp::net::timeline {
+
+namespace {
+
+/// Hours in a simulated year — the demand-growth ramp denominator.
+constexpr double kHoursPerYear = 8760.0;
+
+}  // namespace
+
+TimelineDriver::TimelineDriver(const LinkPlan& plan,
+                               std::vector<geo::LatLon> sites,
+                               flow::DemandMatrix base,
+                               flow::DirectKmFn direct_km,
+                               TimelineOptions options)
+    : plan_(&plan),
+      sites_(std::move(sites)),
+      base_(std::move(base)),
+      current_(base_),
+      direct_km_(std::move(direct_km)),
+      options_(std::move(options)),
+      // Routes are planned against the BASE (nominal) demand rates: the
+      // control plane sees planning-time demand, so diurnal swings never
+      // churn routes — only link-state deltas do. The allocator runs on
+      // the epoch rates.
+      repairer_(plan, base_.to_demands(), options_.policy, direct_km_,
+                options_.threads),
+      topo_(view_from_plan(plan)) {
+  CISP_REQUIRE(options_.backend != TrafficBackend::Packet,
+               "the timeline driver is fluid-only (Flow or Elastic)");
+  CISP_REQUIRE(options_.epochs >= 1, "timeline needs at least one epoch");
+  CISP_REQUIRE(options_.hours_per_epoch > 0.0,
+               "hours_per_epoch must be positive");
+  CISP_REQUIRE(options_.diurnal.floor_activity > 0.0,
+               "timeline diurnal floor must be positive (a zero-activity "
+               "epoch would drop pairs and destabilize flow ids)");
+  CISP_REQUIRE(options_.alpha > 0.0, "alpha must be positive");
+  CISP_REQUIRE(options_.served_frac > 0.0 && options_.served_frac <= 1.0,
+               "served_frac must be in (0, 1]");
+  CISP_REQUIRE(options_.rain == nullptr || options_.factor_schedule == nullptr,
+               "rain and factor_schedule are mutually exclusive");
+  if (options_.rain != nullptr) {
+    CISP_REQUIRE(sites_.size() == plan.node_count,
+                 "weather coupling needs one site position per plan node");
+    geometry_ = control::link_geometry(plan, sites_);
+  }
+  if (options_.factor_schedule != nullptr) {
+    CISP_REQUIRE(!options_.factor_schedule->empty(),
+                 "factor schedule must have at least one epoch");
+    for (const auto& row : *options_.factor_schedule) {
+      CISP_REQUIRE(row.size() == plan.links.size(),
+                   "factor schedule rows must cover every plan link");
+      for (const double f : row) {
+        CISP_REQUIRE(f >= 0.0 && f <= 1.0,
+                     "capacity factor must be in [0, 1]");
+      }
+    }
+  }
+  for (const flow::PairDemand& pair : base_.pairs()) {
+    CISP_REQUIRE(pair.src < options_.diurnal.tz_offset_hours.size() &&
+                     pair.dst < options_.diurnal.tz_offset_hours.size(),
+                 "diurnal profile does not cover every demand site");
+    CISP_REQUIRE(pair.rate_bps > 0.0,
+                 "timeline base demands must be strictly positive");
+  }
+  nominal_capacity_bps_ = topo_.view.capacity_bps;
+  available_epochs_.assign(base_.flow_count(), 0);
+}
+
+double TimelineDriver::epoch_hour(std::size_t epoch_index) const {
+  return options_.start_utc_hour +
+         static_cast<double>(epoch_index) * options_.hours_per_epoch;
+}
+
+double TimelineDriver::epoch_growth(double utc_hour) const {
+  const double scale =
+      1.0 + options_.annual_growth * (utc_hour / kHoursPerYear);
+  CISP_REQUIRE(scale >= 0.0, "demand growth drove the scale negative");
+  return scale;
+}
+
+std::vector<double> TimelineDriver::epoch_link_factors(
+    std::size_t epoch_index) const {
+  if (options_.rain != nullptr) {
+    return control::link_capacity_factors(*plan_, geometry_, *options_.rain,
+                                          epoch_hour(epoch_index) * 3600.0,
+                                          options_.coupling);
+  }
+  if (options_.factor_schedule != nullptr) {
+    return (*options_.factor_schedule)[epoch_index %
+                                       options_.factor_schedule->size()];
+  }
+  return std::vector<double>(plan_->links.size(), 1.0);
+}
+
+EpochStats TimelineDriver::evaluate(
+    const SimTopologyView& view, const std::vector<graphs::Path>& paths,
+    const flow::DemandMatrix& demands, std::size_t epoch_index,
+    double utc_hour, double growth, flow::WarmState* warm,
+    std::vector<flow::PairOutcome>& outcomes) const {
+  // Mirrors FluidTrafficModel::run's served-pair gather/scatter exactly:
+  // denied (empty-path) pairs are excluded from allocation and delivered
+  // zero, their offered demand still counts. Byte-identity with the
+  // TrafficModel seam is pinned in timeline_test.cpp.
+  const std::size_t pairs = demands.pairs().size();
+  std::vector<std::size_t> served;
+  served.reserve(pairs);
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    if (!paths[f].empty()) served.push_back(f);
+  }
+  const bool all_served = served.size() == pairs;
+
+  std::vector<double> rates;
+  rates.reserve(served.size());
+  std::vector<graphs::Path> served_paths;
+  if (!all_served) served_paths.reserve(served.size());
+  for (const std::size_t f : served) {
+    rates.push_back(demands.pairs()[f].rate_bps);
+    if (!all_served) served_paths.push_back(paths[f]);
+  }
+  const std::vector<graphs::Path>& alloc_paths =
+      all_served ? paths : served_paths;
+
+  flow::Allocation allocation;
+  if (served.empty()) {
+    allocation.edge_load_bps.assign(view.capacity_bps.size(), 0.0);
+  } else if (options_.backend == TrafficBackend::Elastic) {
+    std::vector<double> weights;
+    weights.reserve(served.size());
+    for (const std::size_t f : served) {
+      weights.push_back(static_cast<double>(
+          std::max<std::uint64_t>(1, demands.pairs()[f].users)));
+    }
+    flow::ElasticOptions elastic;
+    elastic.alpha = options_.alpha;
+    elastic.threads = options_.threads;
+    elastic.warm = warm;
+    allocation =
+        flow::alpha_fair_allocate(view, alloc_paths, rates, weights, elastic);
+  } else {
+    flow::AllocatorOptions alloc_options;
+    alloc_options.threads = options_.threads;
+    alloc_options.warm = warm;
+    allocation = flow::max_min_allocate(view, alloc_paths, rates,
+                                        alloc_options);
+  }
+  if (!all_served) {
+    std::vector<double> full_rates(pairs, 0.0);
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      full_rates[served[i]] = allocation.rate_bps[i];
+    }
+    allocation.rate_bps = std::move(full_rates);
+  }
+
+  outcomes = flow::pair_outcomes(view, paths, demands, allocation, direct_km_);
+  const flow::FlowLevelStats stats =
+      flow::summarize(view, outcomes, allocation);
+
+  EpochStats row;
+  row.epoch = epoch_index;
+  row.utc_hour = utc_hour;
+  row.growth_scale = growth;
+  row.offered_bps = stats.offered_bps;
+  row.delivered_bps = stats.delivered_bps;
+  row.served_fraction = stats.offered_bps > 0.0
+                            ? stats.delivered_bps / stats.offered_bps
+                            : 1.0;
+  row.mean_link_utilization = stats.mean_link_utilization;
+  row.max_link_utilization = stats.max_link_utilization;
+  row.allocation_rounds = allocation.rounds;
+  row.dual_iterations = allocation.dual_iterations;
+
+  Samples pair_stretch;
+  double served_sum = 0.0;
+  double served_sum_sq = 0.0;
+  std::size_t offered_pairs = 0;
+  std::size_t denied = 0;
+  std::size_t available = 0;
+  for (std::size_t f = 0; f < outcomes.size(); ++f) {
+    const flow::PairOutcome& pair = outcomes[f];
+    pair_stretch.add(pair.stretch);
+    if (paths[f].empty()) ++denied;
+    if (pair.offered_bps <= 0.0 ||
+        pair.delivered_bps >= options_.served_frac * pair.offered_bps) {
+      ++available;
+    }
+    if (pair.offered_bps <= 0.0) continue;
+    const double frac = std::min(1.0, pair.delivered_bps / pair.offered_bps);
+    served_sum += frac;
+    served_sum_sq += frac * frac;
+    ++offered_pairs;
+  }
+  row.p99_stretch = pair_stretch.empty() ? 0.0 : pair_stretch.percentile(99.0);
+  row.jain_fairness =
+      served_sum_sq > 0.0
+          ? served_sum * served_sum /
+                (static_cast<double>(offered_pairs) * served_sum_sq)
+          : 1.0;
+  if (pairs > 0) {
+    row.denied_fraction =
+        static_cast<double>(denied) / static_cast<double>(pairs);
+    row.available_fraction =
+        static_cast<double>(available) / static_cast<double>(pairs);
+  }
+  return row;
+}
+
+EpochStats TimelineDriver::step() {
+  const obs::TraceSpan span("timeline.step", "timeline", "epoch",
+                            static_cast<double>(epoch_));
+  const std::size_t e = epoch_;
+  const double hour = epoch_hour(e);
+  const double growth = epoch_growth(hour);
+
+  // Link churn only: the repairer sees the delta between consecutive
+  // epochs, never the full state.
+  const std::vector<double> factors = epoch_link_factors(e);
+  const std::vector<control::LinkDelta> deltas =
+      control::deltas_from_factors(*plan_, factors, repairer_.link_state());
+  const control::RepairStats repair = repairer_.apply(deltas);
+
+  // In-place demand rewrite (no user re-apportionment) and in-place
+  // capacity rewrite on the stable graph.
+  scenario::apply_diurnal_in_place(base_, options_.diurnal, hour, growth,
+                                   current_);
+  const std::vector<double> cap_factors = repairer_.capacity_factors();
+  for (std::size_t edge = 0; edge < topo_.view.capacity_bps.size(); ++edge) {
+    topo_.view.capacity_bps[edge] =
+        nominal_capacity_bps_[edge] *
+        cap_factors[topo_.view.edge_to_link[edge] / 2];
+  }
+
+  const std::vector<graphs::Path> paths = repairer_.traffic_paths();
+  EpochStats row = evaluate(topo_.view, paths, current_, e, hour, growth,
+                            &warm_, last_outcomes_);
+  row.link_deltas = deltas.size();
+  row.touched_pairs = repair.touched_pairs;
+  row.changed_pairs = repair.changed_pairs;
+
+  for (std::size_t f = 0; f < last_outcomes_.size(); ++f) {
+    const flow::PairOutcome& pair = last_outcomes_[f];
+    if (pair.offered_bps <= 0.0 ||
+        pair.delivered_bps >= options_.served_frac * pair.offered_bps) {
+      ++available_epochs_[f];
+    }
+  }
+  served_fraction_sum_ += row.served_fraction;
+  worst_served_fraction_ =
+      std::min(worst_served_fraction_, row.served_fraction);
+  ++epoch_;
+
+  static obs::Counter& epochs_counter = obs::counter("timeline.epochs");
+  epochs_counter.add(1);
+  return row;
+}
+
+std::vector<EpochStats> TimelineDriver::run() {
+  std::vector<EpochStats> rows;
+  while (epoch_ < options_.epochs) rows.push_back(step());
+  return rows;
+}
+
+EpochStats TimelineDriver::evaluate_cold(std::size_t epoch_index) const {
+  const double hour = epoch_hour(epoch_index);
+  const double growth = epoch_growth(hour);
+  const std::vector<double> factors = epoch_link_factors(epoch_index);
+
+  // Cumulative link state straight from the epoch's factors — the same
+  // state deltas_from_factors would have walked the repairer into (MW
+  // links only; fiber never degrades).
+  std::vector<control::LinkState> state(plan_->links.size());
+  for (std::size_t i = 0; i < plan_->links.size(); ++i) {
+    if (!plan_->links[i].is_mw) continue;
+    state[i].up = factors[i] > 0.0;
+    state[i].capacity_factor = state[i].up ? factors[i] : 1.0;
+  }
+
+  // Full rebuild: fresh view, full route recompute, fresh demand copy,
+  // cold allocation — exactly one independent scenario cell.
+  const std::vector<control::PairRoute> routes = control::RouteRepairer::
+      full_recompute(*plan_, base_.to_demands(), options_.policy, direct_km_,
+                     state);
+  std::vector<graphs::Path> paths;
+  paths.reserve(routes.size());
+  for (const control::PairRoute& route : routes) paths.push_back(route.path);
+
+  TopologyView topo = view_from_plan(*plan_);
+  for (std::size_t edge = 0; edge < topo.view.capacity_bps.size(); ++edge) {
+    const std::size_t link = topo.view.edge_to_link[edge] / 2;
+    topo.view.capacity_bps[edge] *=
+        state[link].up ? state[link].capacity_factor : 0.0;
+  }
+
+  flow::DemandMatrix demands =
+      scenario::apply_diurnal(base_, options_.diurnal, hour);
+  if (growth != 1.0) demands.scale_rates(growth);
+
+  std::vector<flow::PairOutcome> outcomes;
+  return evaluate(topo.view, paths, demands, epoch_index, hour, growth,
+                  /*warm=*/nullptr, outcomes);
+}
+
+std::vector<double> TimelineDriver::pair_availability() const {
+  std::vector<double> availability(available_epochs_.size(), 1.0);
+  if (epoch_ == 0) return availability;
+  for (std::size_t f = 0; f < available_epochs_.size(); ++f) {
+    availability[f] = static_cast<double>(available_epochs_[f]) /
+                      static_cast<double>(epoch_);
+  }
+  return availability;
+}
+
+TimelineSummary TimelineDriver::summary() const {
+  TimelineSummary out;
+  out.epochs = epoch_;
+  out.pairs = base_.flow_count();
+  out.warm_reuses = warm_.incidence_reuses;
+  if (epoch_ == 0 || out.pairs == 0) return out;
+
+  const std::vector<double> availability = pair_availability();
+  Samples samples;
+  std::size_t three_nines = 0;
+  std::size_t two_nines = 0;
+  double min_avail = 1.0;
+  for (const double a : availability) {
+    samples.add(a);
+    min_avail = std::min(min_avail, a);
+    // The epoch grid is coarse (a 48-epoch run cannot distinguish 0.999
+    // from 1), so the nines thresholds take a hair of slack against
+    // division rounding.
+    if (a >= 0.999 - 1e-12) ++three_nines;
+    if (a >= 0.99 - 1e-12) ++two_nines;
+  }
+  const double pair_count = static_cast<double>(availability.size());
+  out.three_nines_fraction = static_cast<double>(three_nines) / pair_count;
+  out.two_nines_fraction = static_cast<double>(two_nines) / pair_count;
+  out.min_availability = min_avail;
+  out.p01_availability = samples.percentile(1.0);
+  out.p10_availability = samples.percentile(10.0);
+  out.p50_availability = samples.percentile(50.0);
+  out.mean_served_fraction =
+      served_fraction_sum_ / static_cast<double>(epoch_);
+  out.worst_served_fraction = worst_served_fraction_;
+  return out;
+}
+
+}  // namespace cisp::net::timeline

@@ -134,6 +134,42 @@ class PacketTrafficModel final : public TrafficModel {
   BuildOptions build_;
 };
 
+/// Stale-override guard: route overrides are bare pointers with "must
+/// outlive the run" contracts, and a timeline re-submitting last epoch's
+/// repaired routes against this epoch's plan would otherwise walk
+/// out-of-range edge ids straight into UB. Every non-empty path must be
+/// pinned over THIS run's graph: edge ids in range, each edge connecting
+/// its consecutive nodes, endpoints matching the demand pair.
+void validate_path_override(const SimTopologyView& view,
+                            const std::vector<TrafficDemand>& demand_list,
+                            const std::vector<graphs::Path>& paths) {
+  const std::size_t nodes = view.latency_graph.node_count();
+  const std::size_t edges = view.latency_graph.edge_count();
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    const graphs::Path& path = paths[f];
+    if (path.empty()) continue;  // denied pair
+    CISP_REQUIRE(path.nodes.front() == demand_list[f].src &&
+                     path.nodes.back() == demand_list[f].dst,
+                 "route override endpoints do not match the demand pair");
+    for (const graphs::NodeId n : path.nodes) {
+      CISP_REQUIRE(n < nodes,
+                   "route override references a node outside the run's plan");
+    }
+    if (path.edges.empty()) continue;  // unpinned: resolved per hop later
+    CISP_REQUIRE(path.edges.size() + 1 == path.nodes.size(),
+                 "route override path has inconsistent edge pinning");
+    for (std::size_t i = 0; i < path.edges.size(); ++i) {
+      const graphs::EdgeId eid = path.edges[i];
+      CISP_REQUIRE(eid < edges,
+                   "route override references an edge outside the run's plan");
+      const graphs::Edge& edge = view.latency_graph.edge(eid);
+      CISP_REQUIRE(
+          edge.from == path.nodes[i] && edge.to == path.nodes[i + 1],
+          "route override path is stale for the run's plan");
+    }
+  }
+}
+
 /// The fluid backends: max-min (Flow) and weighted alpha-fair (Elastic)
 /// share everything but the allocation step — same plan, same routes,
 /// same monitors.
@@ -164,11 +200,12 @@ class FluidTrafficModel final : public TrafficModel {
       const std::vector<double>& factors = *options.capacity_factor;
       CISP_REQUIRE(factors.size() * 2 == topo.view.capacity_bps.size(),
                    "capacity factors must cover every plan link");
-      for (std::size_t e = 0; e < topo.view.capacity_bps.size(); ++e) {
-        const double factor = factors[topo.view.edge_to_link[e] / 2];
+      for (const double factor : factors) {
         CISP_REQUIRE(factor >= 0.0 && factor <= 1.0,
                      "capacity factor must be in [0, 1]");
-        topo.view.capacity_bps[e] *= factor;
+      }
+      for (std::size_t e = 0; e < topo.view.capacity_bps.size(); ++e) {
+        topo.view.capacity_bps[e] *= factors[topo.view.edge_to_link[e] / 2];
       }
     }
     const auto demand_list = demands.to_demands();
@@ -179,6 +216,7 @@ class FluidTrafficModel final : public TrafficModel {
       // skipping denied (empty-path) pairs.
       CISP_REQUIRE(options.paths->size() == demand_list.size(),
                    "route override must cover every demand pair");
+      validate_path_override(topo.view, demand_list, *options.paths);
       routes.paths = *options.paths;
       std::vector<double> load_bps(topo.view.capacity_bps.size(), 0.0);
       double latency_acc = 0.0;

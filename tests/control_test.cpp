@@ -568,6 +568,100 @@ TEST(ControlSeam, DeniedPairsDeliverZeroAndDeratesScaleCapacity) {
   EXPECT_THROW((void)packet->run(demands, options), cisp::Error);
 }
 
+TEST(ControlSeam, RejectsStaleOrMalformedOverrides) {
+  // The raw pointers in TrafficRunOptions are lifetime hazards: a paths
+  // vector pinned against an older plan, or a factor vector of the wrong
+  // length, used to walk straight into unchecked graph-edge indexing (UB).
+  // Every malformed override must fail with cisp::Error at run entry.
+  const auto input = seam_input();
+  const auto plan = seam_plan();
+  std::vector<std::vector<double>> traffic(4, std::vector<double>(4, 1.0));
+  for (int i = 0; i < 4; ++i) traffic[i][i] = 0.0;
+  const auto demands = flow::DemandMatrix::from_traffic(traffic, 1.0, 0.1);
+  const LinkPlan base_plan = plan_links(input, plan, {});
+  const auto direct = [&](std::uint32_t s, std::uint32_t t) {
+    return input.geodesic_km(s, t);
+  };
+  control::RouteRepairer repairer(base_plan, demands.to_demands(), {}, direct);
+  const auto good_paths = repairer.traffic_paths();
+  const auto good_factors = repairer.capacity_factors();
+
+  const auto model = make_traffic_model(TrafficBackend::Flow, input, plan);
+  TrafficRunOptions options;
+  options.plan = &base_plan;
+  options.paths = &good_paths;
+  options.capacity_factor = &good_factors;
+  EXPECT_NO_THROW((void)model->run(demands, options));
+
+  {
+    // One path per demand pair, no more, no fewer.
+    auto too_few = good_paths;
+    too_few.pop_back();
+    TrafficRunOptions bad = options;
+    bad.paths = &too_few;
+    EXPECT_THROW((void)model->run(demands, bad), cisp::Error);
+  }
+  {
+    // Endpoints must match the pair the path is for.
+    auto wrong_ends = good_paths;
+    wrong_ends.front().nodes.front() =
+        wrong_ends.front().nodes.front() == 2 ? 3 : 2;
+    TrafficRunOptions bad = options;
+    bad.paths = &wrong_ends;
+    EXPECT_THROW((void)model->run(demands, bad), cisp::Error);
+  }
+  {
+    // A pinned edge id beyond the run plan's edge space (the classic
+    // stale-paths symptom after the plan shrinks).
+    auto out_of_range = good_paths;
+    ASSERT_FALSE(out_of_range.front().edges.empty());
+    out_of_range.front().edges.front() = 1000000;
+    TrafficRunOptions bad = options;
+    bad.paths = &out_of_range;
+    EXPECT_THROW((void)model->run(demands, bad), cisp::Error);
+  }
+  {
+    // An in-range edge that does not connect the path's consecutive
+    // nodes: pinned against a different plan's edge numbering.
+    const TopologyView topo = view_from_plan(base_plan);
+    auto stale = good_paths;
+    ASSERT_FALSE(stale.front().edges.empty());
+    const auto want_from = stale.front().nodes[0];
+    bool tampered = false;
+    for (graphs::EdgeId e = 0; e < topo.view.edge_to_link.size(); ++e) {
+      const auto& edge = topo.view.latency_graph.edge(e);
+      if (edge.from != want_from) {
+        stale.front().edges.front() = e;
+        tampered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(tampered);
+    TrafficRunOptions bad = options;
+    bad.paths = &stale;
+    EXPECT_THROW((void)model->run(demands, bad), cisp::Error);
+  }
+  {
+    // Capacity factors: one per duplex link, each in [0, 1].
+    std::vector<double> short_factors(base_plan.links.size() - 1, 1.0);
+    TrafficRunOptions bad = options;
+    bad.capacity_factor = &short_factors;
+    EXPECT_THROW((void)model->run(demands, bad), cisp::Error);
+
+    auto over = good_factors;
+    over.front() = 1.5;
+    bad = options;
+    bad.capacity_factor = &over;
+    EXPECT_THROW((void)model->run(demands, bad), cisp::Error);
+
+    auto negative = good_factors;
+    negative.front() = -0.25;
+    bad = options;
+    bad.capacity_factor = &negative;
+    EXPECT_THROW((void)model->run(demands, bad), cisp::Error);
+  }
+}
+
 TEST(ControlObs, RepairCountersAccumulateWhenEnabled) {
   obs::reset_metrics();
   obs::set_metrics_enabled(true);

@@ -243,6 +243,66 @@ TEST(PerfCli, HardForOverridesWarnOnly) {
             0);
 }
 
+TEST(PerfCli, SoftForToleratesMatchingRegressionsUnderTheHardGate) {
+  TempDir dir("softfor");
+  const std::string base = write_file(
+      dir.path, "base.json",
+      to_json(make_report({{"exp.wallclock", 100.0, 1},
+                           {"max_min_kernel", 100.0, 1}})));
+  const std::string exp_slow = write_file(
+      dir.path, "exp_slow.json",
+      to_json(make_report({{"exp.wallclock", 150.0, 1},
+                           {"max_min_kernel", 100.0, 1}})));
+  const std::string kernel_slow = write_file(
+      dir.path, "kernel_slow.json",
+      to_json(make_report({{"exp.wallclock", 100.0, 1},
+                           {"max_min_kernel", 150.0, 1}})));
+
+  // Under the HARD gate (no --warn-only), a regression on a kernel
+  // matching a soft glob is reported but does not fail the job — the CI
+  // shape for noisy wall-clock entries.
+  std::string out;
+  std::string err;
+  EXPECT_EQ(cli({"perf", "--current", exp_slow, "--against", base,
+                 "--soft-for", "exp.*"},
+                &out, &err),
+            0);
+  EXPECT_NE(out.find("soft regression"), std::string::npos);
+  EXPECT_NE(err.find("soft-tolerated"), std::string::npos);
+
+  // A regression NOT matching any soft glob still fails hard.
+  EXPECT_EQ(cli({"perf", "--current", kernel_slow, "--against", base,
+                 "--soft-for", "exp.*"},
+                &out, &err),
+            1);
+
+  // --hard-for wins over --soft-for when both match the same kernel.
+  EXPECT_EQ(cli({"perf", "--current", exp_slow, "--against", base,
+                 "--soft-for", "exp.*", "--hard-for", "*wallclock*"},
+                &out, &err),
+            1);
+  EXPECT_NE(err.find("HARD regression"), std::string::npos);
+
+  // A baseline kernel missing from the current run is a gating row too;
+  // a soft glob covering it keeps the gate green.
+  const std::string missing_exp = write_file(
+      dir.path, "missing_exp.json",
+      to_json(make_report({{"max_min_kernel", 100.0, 1}})));
+  EXPECT_EQ(cli({"perf", "--current", missing_exp, "--against", base},
+                &out, &err),
+            1);
+  EXPECT_EQ(cli({"perf", "--current", missing_exp, "--against", base,
+                 "--soft-for", "exp.*"},
+                &out, &err),
+            0);
+
+  // Without a regression the soft globs are inert.
+  EXPECT_EQ(cli({"perf", "--current", base, "--against", base, "--soft-for",
+                 "*"},
+                &out, &err),
+            0);
+}
+
 TEST(PerfCli, CompareOnlyFailsCleanlyOnBadInput) {
   TempDir dir("bad");
   const std::string good =

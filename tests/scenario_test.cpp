@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "net/builder.hpp"
@@ -130,6 +131,95 @@ TEST(Diurnal, AppliedMatrixScalesWithinActivityBounds) {
   EXPECT_GT(at_peak.total_rate_bps(), base.total_rate_bps());
   const auto at_trough = scenario::apply_diurnal(base, profile, 13.5);
   EXPECT_LT(at_trough.total_rate_bps(), base.total_rate_bps());
+}
+
+TEST(Diurnal, WrapsHoursFromTheFullRealLine) {
+  EXPECT_DOUBLE_EQ(scenario::wrap_utc_hour(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(scenario::wrap_utc_hour(23.75), 23.75);
+  EXPECT_DOUBLE_EQ(scenario::wrap_utc_hour(24.0), 0.0);
+  EXPECT_DOUBLE_EQ(scenario::wrap_utc_hour(25.0), 1.0);
+  EXPECT_DOUBLE_EQ(scenario::wrap_utc_hour(48.25), 0.25);
+  EXPECT_DOUBLE_EQ(scenario::wrap_utc_hour(-1.0), 23.0);
+  EXPECT_DOUBLE_EQ(scenario::wrap_utc_hour(-23.5), 0.5);
+  EXPECT_THROW((void)scenario::wrap_utc_hour(
+                   std::numeric_limits<double>::infinity()),
+               cisp::Error);
+}
+
+TEST(Diurnal, ActivityIsPeriodicAcrossDayBoundaries) {
+  scenario::DiurnalProfile profile;
+  profile.tz_offset_hours = {-5.0, -8.0, 1.0};
+  // Streaming timelines feed monotonically increasing hours: epoch 25 is
+  // day 2, 01:00, and must see exactly the day-1 activity. Pinned as
+  // byte-identity (fmod is exact for these inputs), not approximate
+  // equality — the pre-fix code fed the raw hour into cos(), whose
+  // argument reduction drifts day over day.
+  for (const std::size_t site : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{2}}) {
+    for (const double hour : {0.0, 1.0, 4.5, 13.0, 19.75, 23.5}) {
+      EXPECT_EQ(scenario::diurnal_activity(profile, site, hour),
+                scenario::diurnal_activity(profile, site, hour + 24.0))
+          << "site " << site << " hour " << hour;
+      EXPECT_EQ(scenario::diurnal_activity(profile, site, hour),
+                scenario::diurnal_activity(profile, site, hour + 8760.0))
+          << "site " << site << " hour " << hour;
+      EXPECT_EQ(scenario::diurnal_activity(profile, site, hour),
+                scenario::diurnal_activity(profile, site, hour - 24.0))
+          << "site " << site << " hour " << hour;
+    }
+  }
+}
+
+TEST(Diurnal, InPlaceRewriteIsByteIdenticalToApplyDiurnal) {
+  const auto base = square_matrix();
+  scenario::DiurnalProfile profile;
+  profile.tz_offset_hours = {-5.0, -6.0, -7.0, -8.0};
+  for (const double hour : {1.5, 13.5, 30.0}) {
+    const auto cell = scenario::apply_diurnal(base, profile, hour);
+    flow::DemandMatrix streamed = base;
+    scenario::apply_diurnal_in_place(base, profile, hour, 1.0, streamed);
+    ASSERT_EQ(streamed.flow_count(), cell.flow_count());
+    for (std::size_t f = 0; f < cell.pairs().size(); ++f) {
+      EXPECT_EQ(streamed.pairs()[f].rate_bps, cell.pairs()[f].rate_bps);
+      EXPECT_EQ(streamed.pairs()[f].users, cell.pairs()[f].users);
+    }
+    EXPECT_EQ(streamed.total_rate_bps(), cell.total_rate_bps());
+
+    // With a growth scale the streamed path must equal the independent
+    // cell's copy-then-scale, in the same multiplication order.
+    auto scaled_cell = cell;
+    scaled_cell.scale_rates(1.25);
+    scenario::apply_diurnal_in_place(base, profile, hour, 1.25, streamed);
+    for (std::size_t f = 0; f < scaled_cell.pairs().size(); ++f) {
+      EXPECT_EQ(streamed.pairs()[f].rate_bps,
+                scaled_cell.pairs()[f].rate_bps);
+    }
+  }
+  // Mismatched pair sequences are rejected, not silently misapplied.
+  flow::DemandMatrix wrong = flow::DemandMatrix::from_pairs({{0, 1, 1, 1e9}});
+  EXPECT_THROW(
+      scenario::apply_diurnal_in_place(base, profile, 1.5, 1.0, wrong),
+      cisp::Error);
+}
+
+TEST(Diurnal, DemandMatrixInPlaceUpdatesKeepStructure) {
+  auto matrix = square_matrix();
+  const auto base = matrix;
+  matrix.scale_rates(0.5);
+  EXPECT_EQ(matrix.flow_count(), base.flow_count());
+  EXPECT_EQ(matrix.total_users(), base.total_users());
+  EXPECT_DOUBLE_EQ(matrix.total_rate_bps(), base.total_rate_bps() * 0.5);
+  // Zero is a legal in-place rate (the pair stays, unlike from_pairs which
+  // drops zero-rate pairs at construction).
+  matrix.scale_rates(0.0);
+  EXPECT_EQ(matrix.flow_count(), base.flow_count());
+  EXPECT_DOUBLE_EQ(matrix.total_rate_bps(), 0.0);
+  // Negative and non-finite rates are rejected.
+  EXPECT_THROW(matrix.scale_rates(-1.0), cisp::Error);
+  EXPECT_THROW(matrix.update_rates([](std::size_t, const flow::PairDemand&) {
+    return -5.0;
+  }),
+               cisp::Error);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,167 @@
+#pragma once
+// The pre-calendar-queue DES core, preserved verbatim for old-vs-new
+// benchmarking: a binary-heap (std::priority_queue) event queue whose every
+// event carries a std::function handler. The micro_perf `des_*_oldcore`
+// kernels drive this copy with the exact workload of their calendar-queue
+// twins, so BENCH comparisons measure the event core alone.
+//
+// Bench-only code — nothing in src/ may include this header.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/sim.hpp"  // Packet, Time
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cisp::bench_legacy {
+
+using cisp::Rng;
+using cisp::net::Packet;
+using cisp::net::Time;
+
+class LegacySimulator {
+ public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  void schedule(Time delay, Handler handler) {
+    CISP_REQUIRE(delay >= 0.0, "cannot schedule in the past");
+    schedule_at(now_ + delay, std::move(handler));
+  }
+
+  void schedule_at(Time when, Handler handler) {
+    CISP_REQUIRE(when >= now_, "cannot schedule before now");
+    queue_.push({when, next_seq_++, std::move(handler)});
+  }
+
+  void run_until(Time end) {
+    while (!queue_.empty() && queue_.top().when <= end) {
+      Event event = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = event.when;
+      ++processed_;
+      event.handler();
+    }
+    if (now_ < end) now_ = end;
+  }
+
+  void run() {
+    while (!queue_.empty()) {
+      Event event = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = event.when;
+      ++processed_;
+      event.handler();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+/// The old link model: std::deque FIFO, closure-scheduled serialization
+/// and delivery (two heap-allocated std::functions per transmitted
+/// packet, exactly as the original Link::start_transmission did).
+class LegacyLink {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  LegacyLink(LegacySimulator& sim, double rate_bps, Time prop_delay_s,
+             DeliverFn deliver)
+      : sim_(sim),
+        rate_bps_(rate_bps),
+        prop_delay_s_(prop_delay_s),
+        deliver_(std::move(deliver)) {}
+
+  void send(const Packet& packet) {
+    if (!busy_) {
+      start_transmission(packet);
+      return;
+    }
+    queue_.push_back(packet);
+  }
+
+ private:
+  void start_transmission(const Packet& packet) {
+    busy_ = true;
+    const Time serialization =
+        static_cast<double>(packet.size_bytes) * 8.0 / rate_bps_;
+    sim_.schedule(serialization + prop_delay_s_,
+                  [this, packet] { deliver_(packet); });
+    sim_.schedule(serialization, [this] { transmission_done(); });
+  }
+
+  void transmission_done() {
+    busy_ = false;
+    if (!queue_.empty()) {
+      const Packet next = queue_.front();
+      queue_.pop_front();
+      start_transmission(next);
+    }
+  }
+
+  LegacySimulator& sim_;
+  double rate_bps_;
+  Time prop_delay_s_;
+  DeliverFn deliver_;
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+};
+
+/// Closure-driven CBR source (the old UdpCbrSource emission pattern: one
+/// rescheduled std::function per packet).
+class LegacyCbrSource {
+ public:
+  LegacyCbrSource(LegacySimulator& sim, LegacyLink& link,
+                  std::uint32_t flow_id, Time interval)
+      : sim_(sim), link_(link), flow_id_(flow_id), interval_(interval) {}
+
+  void start(Time at, Time stop_at, std::uint64_t seed) {
+    stop_at_ = stop_at;
+    Rng rng(seed);
+    sim_.schedule_at(at + rng.uniform() * interval_, [this] { emit(); });
+  }
+
+ private:
+  void emit() {
+    if (sim_.now() >= stop_at_) return;
+    Packet p;
+    p.flow_id = flow_id_;
+    p.size_bytes = 500;
+    p.sent_at = sim_.now();
+    link_.send(p);
+    sim_.schedule(interval_, [this] { emit(); });
+  }
+
+  LegacySimulator& sim_;
+  LegacyLink& link_;
+  std::uint32_t flow_id_;
+  Time interval_;
+  Time stop_at_ = 0.0;
+};
+
+}  // namespace cisp::bench_legacy

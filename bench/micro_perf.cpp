@@ -13,8 +13,11 @@
 #include <chrono>
 #include <cmath>
 #include <functional>
+#include <memory>
 
 #include "bench_common.hpp"
+#include "legacy_des.hpp"
+#include "net/tcp.hpp"
 #include "net/timeline/timeline.hpp"
 
 namespace {
@@ -33,13 +36,15 @@ struct KernelTiming {
 KernelTiming time_kernel(const std::function<void()>& fn, double min_ms) {
   fn();  // warmup: fixture construction, caches, page faults
   std::uint64_t reps = 1;
+  double best_ms = 0.0;
   for (;;) {
     const auto start = Clock::now();
     for (std::uint64_t r = 0; r < reps; ++r) fn();
     const std::chrono::duration<double, std::milli> elapsed =
         Clock::now() - start;
     if (elapsed.count() >= min_ms || reps >= (1ULL << 24)) {
-      return {elapsed.count() * 1e6 / static_cast<double>(reps), reps};
+      best_ms = elapsed.count();
+      break;
     }
     // Jump straight to the projected count when the batch was way short.
     const double scale = elapsed.count() > 0.0
@@ -48,6 +53,18 @@ KernelTiming time_kernel(const std::function<void()>& fn, double min_ms) {
     reps = static_cast<std::uint64_t>(
         std::min(1.7e7, std::ceil(static_cast<double>(reps) * scale)));
   }
+  // Re-time the chosen batch and keep the fastest of three: wall-clock
+  // noise on a shared machine is one-sided (contention only ever adds
+  // time), and a single batch of a long kernel would otherwise carry
+  // +-25% jitter straight into the regression gate.
+  for (int pass = 1; pass < 3; ++pass) {
+    const auto start = Clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) fn();
+    const std::chrono::duration<double, std::milli> elapsed =
+        Clock::now() - start;
+    best_ms = std::min(best_ms, elapsed.count());
+  }
+  return {best_ms * 1e6 / static_cast<double>(reps), reps};
 }
 
 const terrain::RasterTerrain& bench_raster() {
@@ -191,6 +208,42 @@ FlowBenchInstance flow_bench_instance() {
   }
   return {std::move(input), std::move(plan), std::move(traffic)};
 }
+
+/// A CBR source for the des_event_loop kernel: same emission pattern as
+/// bench_legacy::LegacyCbrSource, scheduled through each core's idiomatic
+/// API — the typed allocation-free kTimer path here (the production path:
+/// UdpCbrSource rides the equivalent kUdpEmit kind), the std::function
+/// priority queue on the legacy twin (closures were the only API the old
+/// core offered; their per-event heap allocation is half of what the
+/// overhaul retired). The workload — sources, rates, phases, event count —
+/// is byte-identical across the pair.
+struct CalendarCbrSource {
+  net::Simulator& sim;
+  net::Link& link;
+  std::uint32_t flow_id;
+  net::Time interval;
+  net::Time stop_at = 0.0;
+
+  static void on_timer(void* ctx) {
+    static_cast<CalendarCbrSource*>(ctx)->emit();
+  }
+
+  void start(net::Time at, net::Time stop, std::uint64_t seed) {
+    stop_at = stop;
+    Rng rng(seed);
+    sim.schedule_timer_at(at + rng.uniform() * interval, &on_timer, this);
+  }
+
+  void emit() {
+    if (sim.now() >= stop_at) return;
+    net::Packet p;
+    p.flow_id = flow_id;
+    p.size_bytes = 500;
+    p.sent_at = sim.now();
+    link.send(p);
+    sim.schedule_timer(interval, &on_timer, this);
+  }
+};
 
 engine::ResultSet run(const engine::ExperimentContext& ctx) {
   const double min_ms = ctx.params.real("min_ms", bench::pick(ctx, 80.0, 15.0));
@@ -495,6 +548,77 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
     }
     sim.run();
     volatile std::uint64_t out = delivered;
+    (void)out;
+  });
+
+  // --- DES event core at scale ---------------------------------------------
+  // 1e5 concurrent CBR timers into one fat link: the pending-event
+  // population the 10^5-user packet runs sustain. The oldcore twin drives
+  // the pre-rewrite binary-heap + std::function core (bench/legacy_des.hpp)
+  // with the byte-identical workload, so the row pair isolates the event
+  // engine: O(1) calendar buckets vs log(1e5) cache-hostile sift levels
+  // plus per-packet closure allocation.
+  constexpr std::size_t kDesSources = 100000;
+  constexpr net::Time kDesInterval = 0.004;
+  constexpr net::Time kDesStop = 0.01;
+  constexpr net::Time kDesEnd = 0.02;
+  add("des_event_loop_1e5", [&] {
+    net::Simulator sim;
+    std::uint64_t delivered = 0;
+    net::Link link(sim, 1e12, 0.001, net::Link::kUnboundedQueue,
+                   [&](const net::Packet&) { ++delivered; });
+    std::vector<CalendarCbrSource> sources;
+    sources.reserve(kDesSources);
+    for (std::size_t i = 0; i < kDesSources; ++i) {
+      sources.push_back({sim, link, static_cast<std::uint32_t>(i),
+                         kDesInterval});
+      sources.back().start(0.0, kDesStop, i);
+    }
+    sim.run_until(kDesEnd);
+    volatile std::uint64_t out = delivered;
+    (void)out;
+  });
+  add("des_event_loop_1e5_oldcore", [&] {
+    bench_legacy::LegacySimulator sim;
+    std::uint64_t delivered = 0;
+    bench_legacy::LegacyLink link(sim, 1e12, 0.001,
+                                  [&](const net::Packet&) { ++delivered; });
+    std::vector<bench_legacy::LegacyCbrSource> sources;
+    sources.reserve(kDesSources);
+    for (std::size_t i = 0; i < kDesSources; ++i) {
+      sources.emplace_back(sim, link, static_cast<std::uint32_t>(i),
+                           kDesInterval);
+      sources.back().start(0.0, kDesStop, i);
+    }
+    sim.run_until(kDesEnd);
+    volatile std::uint64_t out = delivered;
+    (void)out;
+  });
+  // 1e4 short TCP flows over one duplex link: the typed pace/RTO/start
+  // paths plus the ring/bitmap per-segment state, end to end.
+  add("des_tcp_flows_1e4", [&] {
+    net::Simulator sim;
+    net::Network network(sim, 2);
+    const std::size_t l = network.add_duplex_link(
+        0, 1, 1e11, 0.001, net::Link::kUnboundedQueue);
+    network.node(0).set_route(0, 1, &network.link(l));
+    network.node(1).set_route(1, 0, &network.link(l + 1));
+    net::TcpRegistry registry;
+    registry.install(network, 0);
+    registry.install(network, 1);
+    constexpr std::size_t kFlows = 10000;
+    std::vector<std::unique_ptr<net::TcpFlow>> flows;
+    flows.reserve(kFlows);
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      flows.push_back(std::make_unique<net::TcpFlow>(
+          network, registry, static_cast<std::uint32_t>(f), 0, 1,
+          8 * 1448, net::TcpFlow::Params{}));
+      flows.back()->start(static_cast<double>(f) * 1e-6);
+    }
+    sim.run();
+    std::size_t done = 0;
+    for (const auto& flow : flows) done += flow->complete() ? 1 : 0;
+    volatile std::size_t out = done;
     (void)out;
   });
 

@@ -7,8 +7,9 @@
 //
 // Reports per-scale delay/stretch/served-fraction/utilization plus the
 // per-city-pair stretch breakdown at the largest scale. The packet
-// backend is allowed only at small scales (it would need one CBR source
-// per pair and per-packet state far beyond memory at 10^6 users' rates).
+// backend (sharded calendar-queue DES with packet arenas) is allowed up
+// to 2e5 endpoints; beyond that, per-packet state outruns memory at
+// 10^6 users' rates and the fluid backends are the right tool.
 
 #include <algorithm>
 
@@ -25,8 +26,8 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
   const auto centers = static_cast<std::size_t>(
       ctx.params.integer("centers", bench::pick(ctx, 40, 25)));
   CISP_REQUIRE(max_users >= 1000, "users must be at least 1000");
-  CISP_REQUIRE(backend != net::TrafficBackend::Packet || max_users <= 50000,
-               "packet backend is capped at 5e4 endpoints — use "
+  CISP_REQUIRE(backend != net::TrafficBackend::Packet || max_users <= 200000,
+               "packet backend is capped at 2e5 endpoints — use "
                "--set traffic_backend=flow (or elastic) for larger scales");
 
   constexpr double kAggregateGbps = 100.0;

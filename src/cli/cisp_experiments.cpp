@@ -7,6 +7,7 @@
 //   cisp_experiments run <name|glob>... [--threads N] [--seed S] [--fast]
 //                    [--set k=v] [--csv-dir DIR] [--json] [--no-cache]
 //                    [--cache-dir DIR] [--require-rows]
+//   cisp_experiments sweep <name> --axis k=v1,v2,... [run flags]
 //   cisp_experiments diff <run-a> <run-b> [--tolerance T] [--relative R]
 //                    [--cache-dir DIR]
 

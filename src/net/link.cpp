@@ -36,10 +36,12 @@ void Link::start_transmission(const Packet& packet) {
   busy_time_ += serialization;
   ++sent_;
   bytes_ += packet.size_bytes;
-  // Arrival at the far end after serialization + propagation.
-  sim_.schedule(serialization + prop_delay_s_,
-                [this, packet] { deliver_(packet); });
-  sim_.schedule(serialization, [this] { transmission_done(); });
+  // Arrival at the far end after serialization + propagation. The deliver
+  // event is scheduled first so a zero-propagation link still delivers
+  // before dequeuing the next packet (the FIFO tie-break the old closure
+  // core established).
+  sim_.schedule_link_deliver(serialization + prop_delay_s_, this, packet);
+  sim_.schedule_link_done(serialization, this);
 }
 
 void Link::transmission_done() {

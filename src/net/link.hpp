@@ -4,10 +4,10 @@
 // queue occupancy, drops) — the counterpart of ns-3's PointToPointNetDevice
 // plus the paper's custom link-utilization monitor.
 
-#include <deque>
 #include <functional>
 #include <limits>
 
+#include "net/packet_ring.hpp"
 #include "net/sim.hpp"
 #include "util/stats.hpp"
 
@@ -43,8 +43,11 @@ class Link {
   [[nodiscard]] double utilization(Time now) const;
 
  private:
+  friend class Simulator;  ///< typed event dispatch
+
   void start_transmission(const Packet& packet);
   void transmission_done();
+  void deliver_arrival(const Packet& packet) { deliver_(packet); }
 
   Simulator& sim_;
   double rate_bps_;
@@ -52,7 +55,7 @@ class Link {
   std::size_t queue_cap_;
   DeliverFn deliver_;
 
-  std::deque<Packet> queue_;
+  PacketRing queue_;
   bool busy_ = false;
   std::uint64_t sent_ = 0;
   std::uint64_t drops_ = 0;

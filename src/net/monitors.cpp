@@ -1,5 +1,7 @@
 #include "net/monitors.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace cisp::net {
@@ -15,9 +17,7 @@ void FlowMonitor::on_receive(const Packet& packet, Time now) {
   auto& f = flows_[packet.flow_id];
   ++f.received_packets;
   f.received_bytes += packet.size_bytes;
-  const double delay = now - packet.sent_at;
-  f.delay_s.add(delay);
-  delay_sum_s_ += delay;
+  f.delay_s.add(now - packet.sent_at);
   ++received_;
 }
 
@@ -28,7 +28,26 @@ const FlowMonitor::FlowStats& FlowMonitor::flow(std::uint32_t flow_id) const {
 }
 
 double FlowMonitor::mean_delay_s() const {
-  return received_ > 0 ? delay_sum_s_ / static_cast<double>(received_) : 0.0;
+  if (received_ == 0) return 0.0;
+  // Accumulate per-flow sums in ascending flow-id order: the per-flow sum
+  // sees only that flow's arrival order (identical in sharded and single
+  // runs), and the fixed outer order makes the aggregate shard-invariant.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, stats] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  double sum = 0.0;
+  for (const std::uint32_t id : ids) sum += flows_.at(id).delay_s.sum();
+  return sum / static_cast<double>(received_);
+}
+
+void FlowMonitor::absorb(const FlowMonitor& other) {
+  for (const auto& [id, stats] : other.flows_) {
+    const bool inserted = flows_.emplace(id, stats).second;
+    CISP_REQUIRE(inserted, "shard merge saw a duplicate flow id");
+  }
+  sent_ += other.sent_;
+  received_ += other.received_;
 }
 
 double FlowMonitor::loss_rate() const {

@@ -30,6 +30,9 @@ class FlowMonitor {
   }
 
   /// Aggregate mean one-way delay over all delivered packets, seconds.
+  /// Summed per flow in ascending flow-id order so the result is invariant
+  /// to packet interleaving across flows — in particular, to how a sharded
+  /// run partitions flows between simulators.
   [[nodiscard]] double mean_delay_s() const;
   /// Aggregate loss rate in [0, 1]: 1 - received/sent packets.
   [[nodiscard]] double loss_rate() const;
@@ -38,11 +41,15 @@ class FlowMonitor {
     return received_;
   }
 
+  /// Merges another monitor's flows into this one (shard merge). Flow-id
+  /// sets are expected to be disjoint; duplicate ids would interleave
+  /// per-flow statistics and are rejected.
+  void absorb(const FlowMonitor& other);
+
  private:
   std::unordered_map<std::uint32_t, FlowStats> flows_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
-  double delay_sum_s_ = 0.0;
 };
 
 }  // namespace cisp::net

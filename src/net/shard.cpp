@@ -1,0 +1,90 @@
+#include "net/shard.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cisp::net {
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ShardPlan shard_by_path_edges(const RoutingResult& routes,
+                              std::size_t demand_count,
+                              std::size_t max_shards) {
+  CISP_REQUIRE(routes.paths.size() >= demand_count,
+               "routes cover fewer demands than requested");
+
+  // Find the edge universe.
+  graphs::EdgeId max_edge = 0;
+  for (std::size_t d = 0; d < demand_count; ++d) {
+    for (const graphs::EdgeId eid : routes.paths[d].edges) {
+      max_edge = std::max(max_edge, eid);
+    }
+  }
+  UnionFind uf(static_cast<std::size_t>(max_edge) + 1);
+  for (std::size_t d = 0; d < demand_count; ++d) {
+    const auto& edges = routes.paths[d].edges;
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+      uf.unite(edges[0], edges[i]);
+    }
+  }
+  // Second pass so demands sharing any edge land in one component even
+  // when their edge lists were united through a third demand.
+  std::vector<int> component_of_root(static_cast<std::size_t>(max_edge) + 2,
+                                     -1);
+  ShardPlan plan;
+  std::vector<std::vector<std::size_t>> components;
+  for (std::size_t d = 0; d < demand_count; ++d) {
+    const auto& edges = routes.paths[d].edges;
+    if (edges.empty()) {
+      // No edges: the demand interacts with nothing; its own component.
+      components.push_back({d});
+      continue;
+    }
+    const std::size_t root = uf.find(edges[0]);
+    if (component_of_root[root] < 0) {
+      component_of_root[root] = static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    components[static_cast<std::size_t>(component_of_root[root])].push_back(d);
+  }
+
+  if (max_shards == 0 || components.size() <= max_shards) {
+    plan.shards = std::move(components);
+    return plan;
+  }
+  // Fold components round-robin by component number. Each shard's demand
+  // list stays ascending because component numbers and the demands within
+  // each component are both in first-appearance (ascending) order — sort
+  // anyway to keep the invariant under future edits.
+  plan.shards.resize(max_shards);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    auto& shard = plan.shards[c % max_shards];
+    shard.insert(shard.end(), components[c].begin(), components[c].end());
+  }
+  for (auto& shard : plan.shards) std::sort(shard.begin(), shard.end());
+  return plan;
+}
+
+}  // namespace cisp::net

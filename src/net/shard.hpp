@@ -1,0 +1,33 @@
+#pragma once
+// Sharding of independent flow groups for the packet backend. Two demands
+// interact only if their (pinned) routes share a graph edge — flows on
+// edge-disjoint routes never meet a queue together, so the simulation
+// factors into independent components that can run on separate simulators
+// and merge deterministically.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/routing.hpp"
+
+namespace cisp::net {
+
+/// A deterministic partition of demand indices into edge-disjoint groups.
+struct ShardPlan {
+  /// Demand indices per shard. Shards are numbered by the first demand
+  /// that lands in them (ascending demand order), and each shard's list is
+  /// itself ascending — the layout is a pure function of the routes.
+  std::vector<std::vector<std::size_t>> shards;
+};
+
+/// Unions demands over the edges their pinned paths traverse and groups
+/// them into connected components. `max_shards` > 0 folds components
+/// round-robin (by component number) into at most that many shards —
+/// byte-identical results at any fold count; 0 keeps one shard per
+/// component. Zero-hop demands (src == dst paths or empty routes) touch no
+/// edge and get their own shard each unless folded.
+[[nodiscard]] ShardPlan shard_by_path_edges(const RoutingResult& routes,
+                                            std::size_t demand_count,
+                                            std::size_t max_shards = 0);
+
+}  // namespace cisp::net

@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/sim.hpp"
 #include "util/error.hpp"
 
 namespace cisp::net {
+namespace {
+
+/// Ring/bitmap capacity: smallest power of two that can hold every live
+/// segment plus slack (inflight never exceeds max_cwnd, and the receiver's
+/// out-of-order range is bounded by the same window). Minimum 64 so the
+/// bitmap is always whole words.
+std::uint64_t window_capacity(double max_cwnd) {
+  std::uint64_t cap = 64;
+  const auto need = static_cast<std::uint64_t>(max_cwnd) + 2;
+  while (cap < need) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
 
 TcpFlow::TcpFlow(Network& network, TcpRegistry& registry,
                  std::uint32_t flow_id, std::uint32_t src, std::uint32_t dst,
@@ -18,7 +33,10 @@ TcpFlow::TcpFlow(Network& network, TcpRegistry& registry,
       total_segments_((bytes + params.mss_bytes - 1) / params.mss_bytes),
       cwnd_(params.initial_cwnd),
       ssthresh_(params.initial_ssthresh),
-      rto_s_(std::max(params.min_rto_s, 3.0 * params.initial_rtt_s)) {
+      rto_s_(std::max(params.min_rto_s, 3.0 * params.initial_rtt_s)),
+      window_mask_(window_capacity(params.max_cwnd) - 1),
+      send_ring_(window_mask_ + 1),
+      ooo_bits_((window_mask_ + 1) / 64) {
   CISP_REQUIRE(bytes > 0, "empty TCP flow");
   CISP_REQUIRE(src != dst, "TCP flow to self");
   registry.register_flow(*this);
@@ -27,12 +45,14 @@ TcpFlow::TcpFlow(Network& network, TcpRegistry& registry,
 void TcpFlow::start(Time at) {
   CISP_REQUIRE(!started_, "flow already started");
   started_ = true;
-  network_.sim().schedule_at(at, [this] {
-    start_time_ = network_.sim().now();
-    next_pace_time_ = start_time_;
-    arm_rto();
-    try_send();
-  });
+  network_.sim().schedule_tcp_start_at(at, this);
+}
+
+void TcpFlow::on_start() {
+  start_time_ = network_.sim().now();
+  next_pace_time_ = start_time_;
+  arm_rto();
+  try_send();
 }
 
 double TcpFlow::fct_s() const {
@@ -63,8 +83,7 @@ void TcpFlow::send_segment(std::uint64_t seg, bool retransmit) {
   const double gap = rtt / std::max(1.0, gain * cwnd_);
   const Time now = network_.sim().now();
   next_pace_time_ = std::max(next_pace_time_ + gap, now);
-  network_.sim().schedule_at(
-      next_pace_time_, [this, seg, retransmit] { transmit_now(seg, retransmit); });
+  network_.sim().schedule_tcp_pace_at(next_pace_time_, this, seg, retransmit);
 }
 
 void TcpFlow::transmit_now(std::uint64_t seg, bool retransmit) {
@@ -76,7 +95,7 @@ void TcpFlow::transmit_now(std::uint64_t seg, bool retransmit) {
   p.sent_at = network_.sim().now();
   p.seq = seg;
   p.is_ack = false;
-  send_times_[seg] = {p.sent_at, retransmit};
+  send_slot(seg) = {p.sent_at, retransmit, /*valid=*/true};
   network_.inject(p);
 }
 
@@ -91,12 +110,12 @@ void TcpFlow::on_packet(const Packet& packet, std::uint32_t at_node) {
 void TcpFlow::on_data(std::uint64_t seg) {
   if (seg == expected_) {
     ++expected_;
-    while (!out_of_order_.empty() && *out_of_order_.begin() == expected_) {
-      out_of_order_.erase(out_of_order_.begin());
+    while (ooo_test(expected_)) {
+      ooo_clear(expected_);
       ++expected_;
     }
   } else if (seg > expected_) {
-    out_of_order_.insert(seg);
+    ooo_set(seg);
   }
   Packet ack;
   ack.flow_id = flow_id_;
@@ -112,11 +131,14 @@ void TcpFlow::on_data(std::uint64_t seg) {
 void TcpFlow::on_ack(std::uint64_t ack_seg) {
   if (complete_) return;
   if (ack_seg > highest_acked_) {
-    // RTT sample from the most recently acked, never-retransmitted segment
-    // (Karn's algorithm).
-    const auto it = send_times_.find(ack_seg - 1);
-    if (it != send_times_.end() && !it->second.second) {
-      const double sample = network_.sim().now() - it->second.first;
+    // RTT sample from the highest newly-acked segment that was never
+    // retransmitted (Karn's algorithm): a retransmitted segment's ACK is
+    // ambiguous, but a stretched ACK may still cover clean segments below
+    // it — scan down for the first unambiguous one.
+    for (std::uint64_t s = ack_seg; s-- > highest_acked_;) {
+      const SendRecord& rec = send_slot(s);
+      if (!rec.valid || rec.retransmitted) continue;
+      const double sample = network_.sim().now() - rec.sent_at;
       if (srtt_s_ == 0.0) {
         srtt_s_ = sample;
         rttvar_s_ = sample / 2.0;
@@ -125,10 +147,11 @@ void TcpFlow::on_ack(std::uint64_t ack_seg) {
         srtt_s_ = 0.875 * srtt_s_ + 0.125 * sample;
       }
       rto_s_ = std::max(params_.min_rto_s, srtt_s_ + 4.0 * rttvar_s_);
+      break;
     }
     const std::uint64_t newly_acked = ack_seg - highest_acked_;
     for (std::uint64_t s = highest_acked_; s < ack_seg; ++s) {
-      send_times_.erase(s);
+      send_slot(s).valid = false;
     }
     highest_acked_ = ack_seg;
     dup_acks_ = 0;
@@ -163,7 +186,7 @@ void TcpFlow::on_ack(std::uint64_t ack_seg) {
 
 void TcpFlow::arm_rto() {
   const std::uint64_t epoch = ++rto_epoch_;
-  network_.sim().schedule(rto_s_, [this, epoch] { on_timeout(epoch); });
+  network_.sim().schedule_tcp_rto(rto_s_, this, epoch);
 }
 
 void TcpFlow::on_timeout(std::uint64_t epoch) {

@@ -4,16 +4,23 @@
 // duplicate ACKs, RTO with exponential backoff, cumulative ACKs with an
 // out-of-order buffer, and optional packet pacing (spreading the window
 // over one smoothed RTT instead of bursting on ACK clocks).
+//
+// Per-segment state is allocation-free: send timestamps live in a ring
+// buffer and the receiver's out-of-order buffer is a bitmap, both sized by
+// the maximum window (live segments span at most max_cwnd, so slot
+// indexing by `seg & mask` never aliases). This replaced the per-segment
+// std::map / std::set of the original implementation.
 
 #include <memory>
-#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "net/node.hpp"
 
 namespace cisp::net {
 
 class TcpRegistry;
+struct TcpTestPeer;
 
 class TcpFlow {
  public:
@@ -46,12 +53,25 @@ class TcpFlow {
   [[nodiscard]] std::uint64_t retransmits() const noexcept {
     return retransmits_;
   }
+  /// Smoothed RTT estimate, seconds (0 until the first clean sample).
+  [[nodiscard]] double srtt_s() const noexcept { return srtt_s_; }
 
   /// Internal: called by the registry when a packet for this flow lands on
   /// a node.
   void on_packet(const Packet& packet, std::uint32_t at_node);
 
  private:
+  friend class Simulator;   ///< typed event dispatch (pace/RTO/start)
+  friend struct TcpTestPeer;  ///< white-box pins for the Karn sampling rule
+
+  /// One slot of the send-time ring, indexed by `segment & window_mask_`.
+  struct SendRecord {
+    Time sent_at = 0.0;
+    bool retransmitted = false;
+    bool valid = false;
+  };
+
+  void on_start();
   void try_send();
   void send_segment(std::uint64_t seg, bool retransmit);
   void transmit_now(std::uint64_t seg, bool retransmit);
@@ -60,6 +80,20 @@ class TcpFlow {
   void arm_rto();
   void on_timeout(std::uint64_t epoch);
   [[nodiscard]] double inflight() const;
+
+  [[nodiscard]] SendRecord& send_slot(std::uint64_t seg) noexcept {
+    return send_ring_[seg & window_mask_];
+  }
+  [[nodiscard]] bool ooo_test(std::uint64_t seg) const noexcept {
+    return (ooo_bits_[(seg & window_mask_) >> 6] >> (seg & 63)) & 1u;
+  }
+  void ooo_set(std::uint64_t seg) noexcept {
+    ooo_bits_[(seg & window_mask_) >> 6] |= std::uint64_t{1} << (seg & 63);
+  }
+  void ooo_clear(std::uint64_t seg) noexcept {
+    ooo_bits_[(seg & window_mask_) >> 6] &=
+        ~(std::uint64_t{1} << (seg & 63));
+  }
 
   Network& network_;
   Params params_;
@@ -78,13 +112,14 @@ class TcpFlow {
   double rttvar_s_ = 0.0;
   double rto_s_;
   std::uint64_t rto_epoch_ = 0;
-  std::unordered_map<std::uint64_t, std::pair<Time, bool>> send_times_;
+  std::uint64_t window_mask_ = 0;      ///< ring/bitmap capacity - 1
+  std::vector<SendRecord> send_ring_;  ///< per live segment, by seg & mask
   Time next_pace_time_ = 0.0;
   std::uint64_t retransmits_ = 0;
 
   // Receiver.
   std::uint64_t expected_ = 0;
-  std::set<std::uint64_t> out_of_order_;
+  std::vector<std::uint64_t> ooo_bits_;  ///< out-of-order bitmap, by seg & mask
 
   Time start_time_ = 0.0;
   Time finish_time_ = 0.0;

@@ -54,8 +54,14 @@ struct TrafficRunOptions {
   double drain_s = 0.2;
   std::uint64_t seed = 0;
   /// Fluid backends: allocator sharding (1 = serial; 0 = all cores; the
-  /// allocation is byte-identical for every value).
+  /// allocation is byte-identical for every value). The packet backend
+  /// uses the same knob to size the executor its shards run on.
   std::size_t threads = 1;
+  /// Packet backend: shard simulator count for edge-disjoint flow groups
+  /// (0 = auto: fold the groups onto the resolved thread count; 1 = one
+  /// simulator, the pre-sharding behavior). Per-flow results are
+  /// byte-identical for every value — groups never share a queue.
+  std::size_t packet_shards = 0;
   /// Elastic backend: fairness exponent (1 = proportional fairness;
   /// >= flow::kMaxMinAlpha or infinity recovers max-min exactly).
   double alpha = 1.0;

@@ -24,7 +24,7 @@ void UdpCbrSource::start(Time at, Time stop_at, std::uint64_t seed) {
   stop_at_ = stop_at;
   Rng rng(seed);
   const Time phase = rng.uniform() * interval_;
-  network_.sim().schedule_at(at + phase, [this] { emit(); });
+  network_.sim().schedule_udp_emit_at(at + phase, this);
 }
 
 void UdpCbrSource::emit() {
@@ -37,7 +37,7 @@ void UdpCbrSource::emit() {
   p.sent_at = network_.sim().now();
   monitor_.on_send(p);
   network_.inject(p);
-  network_.sim().schedule(interval_, [this] { emit(); });
+  network_.sim().schedule_udp_emit_at(network_.sim().now() + interval_, this);
 }
 
 void install_udp_sink(Network& network, std::uint32_t node,

@@ -22,6 +22,8 @@ class UdpCbrSource {
   void start(Time at, Time stop_at, std::uint64_t seed);
 
  private:
+  friend class Simulator;  ///< typed event dispatch (kUdpEmit)
+
   void emit();
 
   Network& network_;

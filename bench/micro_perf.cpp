@@ -530,6 +530,49 @@ engine::ResultSet run(const engine::ExperimentContext& ctx) {
     cold_epoch = (cold_epoch + 1) % timeline_schedule.size();
   });
 
+  // --- Multipath TE kernels ------------------------------------------------
+  // Per-epoch cost of the TE split solve in the timeline regime: the
+  // candidate pool is gathered once against nominal capacities (warm
+  // candidate-key hit every draw), while the cycling weather draws change
+  // the capacities so the SOLVE key misses and the LP re-runs — the
+  // exact work a multipath_te timeline pays per churned epoch.
+  net::TopologyView te_topo = net::view_from_plan(repair_plan);
+  const std::vector<double> te_nominal = te_topo.view.capacity_bps;
+  net::te::SplitWarmState te_warm;
+  net::te::SplitOptions te_split_options;
+  te_split_options.candidates.mcf_pairs = 32;
+  te_split_options.max_lp_pairs = 64;
+  te_split_options.gather_capacity_bps = &te_nominal;
+  te_split_options.warm = &te_warm;
+  std::vector<net::control::LinkState> te_state(repair_plan.links.size());
+  std::size_t te_draw = 0;
+  add("te_split_solve", [&] {
+    for (const auto& delta : draws[te_draw]) {
+      te_state[delta.link] = {delta.up, delta.capacity_factor};
+    }
+    te_draw = (te_draw + 1) % draws.size();
+    for (std::size_t e = 0; e < te_topo.view.capacity_bps.size(); ++e) {
+      const auto& ls = te_state[te_topo.view.edge_to_link[e] / 2];
+      te_topo.view.capacity_bps[e] =
+          te_nominal[e] * (ls.up ? ls.capacity_factor : 0.0);
+    }
+    volatile double u = net::te::solve_splits(te_topo.view, repair_demands,
+                                              repair_direct,
+                                              te_split_options)
+                            .max_utilization;
+    (void)u;
+  });
+  // One full happy-eyeballs draw over every pair against the repairer's
+  // cumulative link state (fiber fallbacks precomputed at construction).
+  const net::control::CandidateRacer te_racer(repair_plan, repair_demands,
+                                              {});
+  add("te_racing_draw", [&] {
+    volatile std::size_t mw =
+        te_racer.race_serial(repairer.routes(), repairer.link_state())
+            .mw_winners;
+    (void)mw;
+  });
+
   // --- DES packet forwarding -----------------------------------------------
   add("packet_forwarding_10k", [] {
     net::Simulator sim;

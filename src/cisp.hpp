@@ -47,11 +47,14 @@
 #include "infra/towers.hpp"     // IWYU pragma: export
 #include "lp/milp.hpp"          // IWYU pragma: export
 #include "net/builder.hpp"      // IWYU pragma: export
+#include "net/control/candidate_racing.hpp"  // IWYU pragma: export
 #include "net/control/route_repair.hpp"      // IWYU pragma: export
 #include "net/control/weather_coupling.hpp"  // IWYU pragma: export
 #include "net/flow/alpha_fair.hpp"  // IWYU pragma: export
+#include "net/flow/multipath.hpp"   // IWYU pragma: export
 #include "net/scenario/demand_scenario.hpp"  // IWYU pragma: export
 #include "net/scenario/failure_model.hpp"    // IWYU pragma: export
+#include "net/te/split.hpp"     // IWYU pragma: export
 #include "net/tcp.hpp"          // IWYU pragma: export
 #include "net/traffic_model.hpp"  // IWYU pragma: export
 #include "rf/fresnel.hpp"       // IWYU pragma: export

@@ -44,6 +44,25 @@ struct RoutingResult {
   std::vector<graphs::Path> paths;
 };
 
+/// One weighted member of a pair's multipath route set.
+struct WeightedPath {
+  /// Graph-edge-pinned path over the run's view (same pinning contract
+  /// as RoutingResult::paths).
+  graphs::Path path;
+  /// Fraction of the pair's offered rate carried here; a pair's weights
+  /// are positive and sum to 1.
+  double weight = 1.0;
+};
+
+/// Per-demand weighted route sets — the multipath counterpart of
+/// RoutingResult::paths, produced by the TE split optimizer
+/// (net/te/split.hpp) and consumed through TrafficRunOptions::route_set.
+/// An EMPTY per-pair list marks a denied pair (same convention as an
+/// empty path in the single-path override).
+struct MultipathRouteSet {
+  std::vector<std::vector<WeightedPath>> pair_paths;
+};
+
 /// Resolves the graph-edge sequence of a path: the pinned `path.edges`
 /// when present, otherwise the minimum-weight arc between each
 /// consecutive node pair. Throws when a hop has no edge.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/flow/multipath.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -73,6 +74,9 @@ TimelineDriver::TimelineDriver(const LinkPlan& plan,
                  "timeline base demands must be strictly positive");
   }
   nominal_capacity_bps_ = topo_.view.capacity_bps;
+  // The TE solve reads base (planning-time) rates for the same reason
+  // the repairer does: diurnal swings must never churn the splits.
+  base_demands_ = base_.to_demands();
   available_epochs_.assign(base_.flow_count(), 0);
 }
 
@@ -164,7 +168,65 @@ EpochStats TimelineDriver::evaluate(
   outcomes = flow::pair_outcomes(view, paths, demands, allocation, direct_km_);
   const flow::FlowLevelStats stats =
       flow::summarize(view, outcomes, allocation);
+  std::vector<char> denied(paths.size(), 0);
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    denied[f] = paths[f].empty() ? 1 : 0;
+  }
+  return finalize_row(denied, allocation, stats, epoch_index, utc_hour, growth,
+                      outcomes);
+}
 
+EpochStats TimelineDriver::evaluate_multipath(
+    const SimTopologyView& view, const MultipathRouteSet& routes,
+    const flow::DemandMatrix& demands, std::size_t epoch_index,
+    double utc_hour, double growth, flow::WarmState* warm,
+    std::vector<flow::PairOutcome>& outcomes) const {
+  // Subflow expansion realizes the split weights; denied pairs (empty
+  // route-set entries) expand to no subflows and deliver zero. The warm
+  // incidence is fingerprint-guarded, so split churn rebuilds it silently
+  // and unchanged splits reuse it across epochs.
+  const flow::SubflowExpansion expansion =
+      flow::expand_multipath(demands, routes);
+
+  flow::Allocation subflow_allocation;
+  if (expansion.paths.empty()) {
+    subflow_allocation.edge_load_bps.assign(view.capacity_bps.size(), 0.0);
+  } else if (options_.backend == TrafficBackend::Elastic) {
+    flow::ElasticOptions elastic;
+    elastic.alpha = options_.alpha;
+    elastic.threads = options_.threads;
+    elastic.warm = warm;
+    subflow_allocation = flow::alpha_fair_allocate(
+        view, expansion.paths, expansion.demand_bps, expansion.weights,
+        elastic);
+  } else {
+    flow::AllocatorOptions alloc_options;
+    alloc_options.threads = options_.threads;
+    alloc_options.warm = warm;
+    subflow_allocation = flow::max_min_allocate(view, expansion.paths,
+                                                expansion.demand_bps,
+                                                alloc_options);
+  }
+
+  outcomes = flow::multipath_pair_outcomes(view, expansion, demands,
+                                           subflow_allocation, direct_km_);
+  const flow::Allocation allocation =
+      flow::fold_subflows(expansion, subflow_allocation);
+  const flow::FlowLevelStats stats =
+      flow::summarize(view, outcomes, allocation);
+  std::vector<char> denied(routes.pair_paths.size(), 0);
+  for (std::size_t f = 0; f < routes.pair_paths.size(); ++f) {
+    denied[f] = routes.pair_paths[f].empty() ? 1 : 0;
+  }
+  return finalize_row(denied, allocation, stats, epoch_index, utc_hour, growth,
+                      outcomes);
+}
+
+EpochStats TimelineDriver::finalize_row(
+    const std::vector<char>& denied, const flow::Allocation& allocation,
+    const flow::FlowLevelStats& stats, std::size_t epoch_index,
+    double utc_hour, double growth,
+    const std::vector<flow::PairOutcome>& outcomes) const {
   EpochStats row;
   row.epoch = epoch_index;
   row.utc_hour = utc_hour;
@@ -183,12 +245,12 @@ EpochStats TimelineDriver::evaluate(
   double served_sum = 0.0;
   double served_sum_sq = 0.0;
   std::size_t offered_pairs = 0;
-  std::size_t denied = 0;
+  std::size_t denied_count = 0;
   std::size_t available = 0;
   for (std::size_t f = 0; f < outcomes.size(); ++f) {
     const flow::PairOutcome& pair = outcomes[f];
     pair_stretch.add(pair.stretch);
-    if (paths[f].empty()) ++denied;
+    if (denied[f]) ++denied_count;
     if (pair.offered_bps <= 0.0 ||
         pair.delivered_bps >= options_.served_frac * pair.offered_bps) {
       ++available;
@@ -205,13 +267,27 @@ EpochStats TimelineDriver::evaluate(
           ? served_sum * served_sum /
                 (static_cast<double>(offered_pairs) * served_sum_sq)
           : 1.0;
+  const std::size_t pairs = outcomes.size();
   if (pairs > 0) {
     row.denied_fraction =
-        static_cast<double>(denied) / static_cast<double>(pairs);
+        static_cast<double>(denied_count) / static_cast<double>(pairs);
     row.available_fraction =
         static_cast<double>(available) / static_cast<double>(pairs);
   }
   return row;
+}
+
+te::SplitResult TimelineDriver::solve_epoch_splits(
+    const SimTopologyView& view, const std::vector<double>& nominal_capacity,
+    te::SplitWarmState* warm) const {
+  te::SplitOptions split = options_.te_split;
+  split.threads = options_.threads;
+  split.warm = warm;
+  // Gather against the NOMINAL capacities: the candidate fingerprint is
+  // stable across degraded epochs (and identical for the cold oracle's
+  // fresh view), so link churn only re-runs the split solve.
+  split.gather_capacity_bps = &nominal_capacity;
+  return te::solve_splits(view, base_demands_, direct_km_, split);
 }
 
 EpochStats TimelineDriver::step() {
@@ -239,9 +315,21 @@ EpochStats TimelineDriver::step() {
         cap_factors[topo_.view.edge_to_link[edge] / 2];
   }
 
-  const std::vector<graphs::Path> paths = repairer_.traffic_paths();
-  EpochStats row = evaluate(topo_.view, paths, current_, e, hour, growth,
-                            &warm_, last_outcomes_);
+  EpochStats row;
+  if (options_.multipath_te) {
+    // TE mode: the epoch's split weights re-solve against the degraded
+    // capacities (warm caches skip work that hasn't changed); the
+    // repairer's routes are unused but its link state drove the capacity
+    // rewrite above.
+    const te::SplitResult split =
+        solve_epoch_splits(topo_.view, nominal_capacity_bps_, &te_warm_);
+    row = evaluate_multipath(topo_.view, split.routes, current_, e, hour,
+                             growth, &warm_, last_outcomes_);
+  } else {
+    const std::vector<graphs::Path> paths = repairer_.traffic_paths();
+    row = evaluate(topo_.view, paths, current_, e, hour, growth, &warm_,
+                   last_outcomes_);
+  }
   row.link_deltas = deltas.size();
   row.touched_pairs = repair.touched_pairs;
   row.changed_pairs = repair.changed_pairs;
@@ -284,16 +372,12 @@ EpochStats TimelineDriver::evaluate_cold(std::size_t epoch_index) const {
     state[i].capacity_factor = state[i].up ? factors[i] : 1.0;
   }
 
-  // Full rebuild: fresh view, full route recompute, fresh demand copy,
-  // cold allocation — exactly one independent scenario cell.
-  const std::vector<control::PairRoute> routes = control::RouteRepairer::
-      full_recompute(*plan_, base_.to_demands(), options_.policy, direct_km_,
-                     state);
-  std::vector<graphs::Path> paths;
-  paths.reserve(routes.size());
-  for (const control::PairRoute& route : routes) paths.push_back(route.path);
-
+  // Full rebuild: fresh view (its capacities ARE the nominal ones —
+  // copied before scaling so the TE gather sees the same bytes step()
+  // passes), fresh demand copy, cold allocation — exactly one
+  // independent scenario cell.
   TopologyView topo = view_from_plan(*plan_);
+  const std::vector<double> nominal = topo.view.capacity_bps;
   for (std::size_t edge = 0; edge < topo.view.capacity_bps.size(); ++edge) {
     const std::size_t link = topo.view.edge_to_link[edge] / 2;
     topo.view.capacity_bps[edge] *=
@@ -305,6 +389,24 @@ EpochStats TimelineDriver::evaluate_cold(std::size_t epoch_index) const {
   if (growth != 1.0) demands.scale_rates(growth);
 
   std::vector<flow::PairOutcome> outcomes;
+  if (options_.multipath_te) {
+    // Cold TE solve (no warm state): candidates re-gather against the
+    // fresh view's nominal capacities and the LP re-runs — by the
+    // pure-function contract of solve_splits this reproduces the warm
+    // path's bytes exactly.
+    const te::SplitResult split =
+        solve_epoch_splits(topo.view, nominal, /*warm=*/nullptr);
+    return evaluate_multipath(topo.view, split.routes, demands, epoch_index,
+                              hour, growth, /*warm=*/nullptr, outcomes);
+  }
+
+  const std::vector<control::PairRoute> routes = control::RouteRepairer::
+      full_recompute(*plan_, base_.to_demands(), options_.policy, direct_km_,
+                     state);
+  std::vector<graphs::Path> paths;
+  paths.reserve(routes.size());
+  for (const control::PairRoute& route : routes) paths.push_back(route.path);
+
   return evaluate(topo.view, paths, demands, epoch_index, hour, growth,
                   /*warm=*/nullptr, outcomes);
 }

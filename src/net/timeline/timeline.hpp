@@ -38,6 +38,7 @@
 #include "net/flow/alpha_fair.hpp"
 #include "net/flow/monitors.hpp"
 #include "net/scenario/demand_scenario.hpp"
+#include "net/te/split.hpp"
 #include "net/traffic_model.hpp"
 #include "weather/rainfield.hpp"
 
@@ -69,6 +70,19 @@ struct TimelineOptions {
   /// Detour admission for repaired routes (pairs over max_stretch are
   /// denied, not stretched).
   control::DetourPolicy policy;
+  /// Multipath TE routing mode: instead of the repairer's single
+  /// repaired path per pair, each epoch re-solves per-pair split weights
+  /// (net/te/split.hpp) against the epoch's degraded capacities and
+  /// realizes them as weighted subflows. Splits are solved against the
+  /// BASE demand rates (like the repairer's routes), so diurnal swings
+  /// never churn the solve — only link-state changes do — and candidate
+  /// pools are gathered once against nominal capacities and carried
+  /// through the driver's te::SplitWarmState. The repairer still tracks
+  /// link state (capacity factors); its routes are unused in this mode.
+  bool multipath_te = false;
+  /// TE knobs for multipath_te. `threads`, `warm` and
+  /// `gather_capacity_bps` are driver-owned and ignored here.
+  te::SplitOptions te_split;
   /// Flow (max-min) or Elastic (alpha-fair); Packet is rejected.
   TrafficBackend backend = TrafficBackend::Flow;
   double alpha = 1.0;
@@ -159,6 +173,9 @@ class TimelineDriver {
   [[nodiscard]] const std::vector<flow::PairOutcome>& last_outcomes() const {
     return last_outcomes_;
   }
+  /// TE warm-state observability (candidate/solution reuse counters);
+  /// untouched unless options.multipath_te is set.
+  [[nodiscard]] const te::SplitWarmState& te_warm() const { return te_warm_; }
   /// Per-pair availability over all epochs stepped so far.
   [[nodiscard]] std::vector<double> pair_availability() const;
   [[nodiscard]] TimelineSummary summary() const;
@@ -177,6 +194,33 @@ class TimelineDriver {
                       std::size_t epoch_index, double utc_hour, double growth,
                       flow::WarmState* warm,
                       std::vector<flow::PairOutcome>& outcomes) const;
+  /// The multipath-TE counterpart of evaluate(): expands the epoch's
+  /// route set into subflows, allocates (optionally warm — the subflow
+  /// incidence is cached while splits are unchanged), folds back to pair
+  /// grain. Denied pairs are empty route-set entries.
+  EpochStats evaluate_multipath(const SimTopologyView& view,
+                                const MultipathRouteSet& routes,
+                                const flow::DemandMatrix& demands,
+                                std::size_t epoch_index, double utc_hour,
+                                double growth, flow::WarmState* warm,
+                                std::vector<flow::PairOutcome>& outcomes)
+      const;
+  /// Shared stats/SLO tail of both evaluate flavors. `denied[f]` flags
+  /// pairs excluded by policy; `allocation` is at pair grain.
+  EpochStats finalize_row(const std::vector<char>& denied,
+                          const flow::Allocation& allocation,
+                          const flow::FlowLevelStats& stats,
+                          std::size_t epoch_index, double utc_hour,
+                          double growth,
+                          const std::vector<flow::PairOutcome>& outcomes)
+      const;
+  /// The epoch's TE split solve (multipath_te mode): current capacities
+  /// from `view`, base-rate demands, candidates gathered against
+  /// `nominal_capacity`; `warm` may be nullptr (cold oracle).
+  [[nodiscard]] te::SplitResult solve_epoch_splits(
+      const SimTopologyView& view,
+      const std::vector<double>& nominal_capacity,
+      te::SplitWarmState* warm) const;
 
   const LinkPlan* plan_;
   std::vector<geo::LatLon> sites_;
@@ -192,6 +236,10 @@ class TimelineDriver {
   TopologyView topo_;
   std::vector<double> nominal_capacity_bps_;
   flow::WarmState warm_;
+  /// Multipath-TE carry: candidate pools + last split solution.
+  te::SplitWarmState te_warm_;
+  /// Base-rate demand list the TE solve reads (stable across epochs).
+  std::vector<TrafficDemand> base_demands_;
 
   std::size_t epoch_ = 0;
   std::vector<flow::PairOutcome> last_outcomes_;

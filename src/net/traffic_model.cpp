@@ -8,6 +8,7 @@
 #include "geo/latlon.hpp"
 #include "net/flow/alpha_fair.hpp"
 #include "net/flow/max_min.hpp"
+#include "net/flow/multipath.hpp"
 #include "net/shard.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -61,6 +62,8 @@ class PacketTrafficModel final : public TrafficModel {
                                   const TrafficRunOptions& options) override {
     CISP_REQUIRE(options.paths == nullptr && options.capacity_factor == nullptr,
                  "control-plane route/capacity overrides are fluid-only");
+    CISP_REQUIRE(options.route_set == nullptr,
+                 "multipath TE route sets are fluid-only");
     const obs::TraceSpan span("traffic.packet", "traffic", "flows",
                               static_cast<double>(demands.flow_count()));
     // Plan and route once, centrally: routes pin their edges, which both
@@ -190,32 +193,52 @@ class PacketTrafficModel final : public TrafficModel {
 /// out-of-range edge ids straight into UB. Every non-empty path must be
 /// pinned over THIS run's graph: edge ids in range, each edge connecting
 /// its consecutive nodes, endpoints matching the demand pair.
+void validate_one_override_path(const SimTopologyView& view,
+                                const TrafficDemand& demand,
+                                const graphs::Path& path) {
+  const std::size_t nodes = view.latency_graph.node_count();
+  const std::size_t edges = view.latency_graph.edge_count();
+  CISP_REQUIRE(path.nodes.front() == demand.src &&
+                   path.nodes.back() == demand.dst,
+               "route override endpoints do not match the demand pair");
+  for (const graphs::NodeId n : path.nodes) {
+    CISP_REQUIRE(n < nodes,
+                 "route override references a node outside the run's plan");
+  }
+  if (path.edges.empty()) return;  // unpinned: resolved per hop later
+  CISP_REQUIRE(path.edges.size() + 1 == path.nodes.size(),
+               "route override path has inconsistent edge pinning");
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    const graphs::EdgeId eid = path.edges[i];
+    CISP_REQUIRE(eid < edges,
+                 "route override references an edge outside the run's plan");
+    const graphs::Edge& edge = view.latency_graph.edge(eid);
+    CISP_REQUIRE(edge.from == path.nodes[i] && edge.to == path.nodes[i + 1],
+                 "route override path is stale for the run's plan");
+  }
+}
+
 void validate_path_override(const SimTopologyView& view,
                             const std::vector<TrafficDemand>& demand_list,
                             const std::vector<graphs::Path>& paths) {
-  const std::size_t nodes = view.latency_graph.node_count();
-  const std::size_t edges = view.latency_graph.edge_count();
   for (std::size_t f = 0; f < paths.size(); ++f) {
-    const graphs::Path& path = paths[f];
-    if (path.empty()) continue;  // denied pair
-    CISP_REQUIRE(path.nodes.front() == demand_list[f].src &&
-                     path.nodes.back() == demand_list[f].dst,
-                 "route override endpoints do not match the demand pair");
-    for (const graphs::NodeId n : path.nodes) {
-      CISP_REQUIRE(n < nodes,
-                   "route override references a node outside the run's plan");
-    }
-    if (path.edges.empty()) continue;  // unpinned: resolved per hop later
-    CISP_REQUIRE(path.edges.size() + 1 == path.nodes.size(),
-                 "route override path has inconsistent edge pinning");
-    for (std::size_t i = 0; i < path.edges.size(); ++i) {
-      const graphs::EdgeId eid = path.edges[i];
-      CISP_REQUIRE(eid < edges,
-                   "route override references an edge outside the run's plan");
-      const graphs::Edge& edge = view.latency_graph.edge(eid);
-      CISP_REQUIRE(
-          edge.from == path.nodes[i] && edge.to == path.nodes[i + 1],
-          "route override path is stale for the run's plan");
+    if (paths[f].empty()) continue;  // denied pair
+    validate_one_override_path(view, demand_list[f], paths[f]);
+  }
+}
+
+/// The same stale-route guard for weighted multipath sets: every member
+/// path of every pair must be pinned over THIS run's graph.
+void validate_route_set(const SimTopologyView& view,
+                        const std::vector<TrafficDemand>& demand_list,
+                        const MultipathRouteSet& routes) {
+  CISP_REQUIRE(routes.pair_paths.size() == demand_list.size(),
+               "multipath route set must cover every demand pair");
+  for (std::size_t f = 0; f < routes.pair_paths.size(); ++f) {
+    for (const WeightedPath& wp : routes.pair_paths[f]) {
+      CISP_REQUIRE(!wp.path.empty(),
+                   "multipath route set entries must be non-empty paths");
+      validate_one_override_path(view, demand_list[f], wp.path);
     }
   }
 }
@@ -259,6 +282,11 @@ class FluidTrafficModel final : public TrafficModel {
       }
     }
     const auto demand_list = demands.to_demands();
+    if (options.route_set != nullptr) {
+      CISP_REQUIRE(options.paths == nullptr,
+                   "paths and route_set overrides are mutually exclusive");
+      return run_multipath(topo.view, demands, demand_list, options);
+    }
     RoutingResult routes;
     if (options.paths != nullptr) {
       // Control-plane override: routes were repaired upstream; recover
@@ -375,6 +403,88 @@ class FluidTrafficModel final : public TrafficModel {
   }
 
  private:
+  /// The TE multipath leg of run(): expand pairs into weighted subflows,
+  /// allocate over the subflows with the unchanged (byte-deterministic)
+  /// allocators, fold back to pair grain. `view` already carries the
+  /// run's capacity derates.
+  [[nodiscard]] TrafficReport run_multipath(
+      const SimTopologyView& view, const flow::DemandMatrix& demands,
+      const std::vector<TrafficDemand>& demand_list,
+      const TrafficRunOptions& options) {
+    validate_route_set(view, demand_list, *options.route_set);
+    const flow::SubflowExpansion expansion =
+        flow::expand_multipath(demands, *options.route_set);
+
+    // Offline predictions at offered load, the multipath analogue of the
+    // single-path override's recovery of compute_routes' figures.
+    RoutingResult routes;
+    {
+      std::vector<double> load_bps(view.capacity_bps.size(), 0.0);
+      double latency_acc = 0.0;
+      double rate_acc = 0.0;
+      for (std::size_t s = 0; s < expansion.paths.size(); ++s) {
+        double latency_s = 0.0;
+        for (const graphs::EdgeId eid :
+             path_edges(view.latency_graph, expansion.paths[s])) {
+          latency_s += view.latency_graph.edge(eid).weight;
+          load_bps[eid] += expansion.demand_bps[s];
+        }
+        latency_acc += latency_s * expansion.demand_bps[s];
+        rate_acc += expansion.demand_bps[s];
+      }
+      routes.mean_path_latency_s =
+          rate_acc > 0.0 ? latency_acc / rate_acc : 0.0;
+      for (std::size_t e = 0; e < load_bps.size(); ++e) {
+        if (view.capacity_bps[e] <= 0.0) continue;
+        routes.max_link_utilization = std::max(
+            routes.max_link_utilization, load_bps[e] / view.capacity_bps[e]);
+      }
+    }
+
+    flow::Allocation sub_alloc;
+    if (expansion.paths.empty()) {
+      sub_alloc.edge_load_bps.assign(view.capacity_bps.size(), 0.0);
+    } else if (backend_ == TrafficBackend::Elastic) {
+      flow::ElasticOptions elastic;
+      elastic.alpha = options.alpha;
+      elastic.threads = options.threads;
+      sub_alloc = flow::alpha_fair_allocate(view, expansion.paths,
+                                            expansion.demand_bps,
+                                            expansion.weights, elastic);
+    } else {
+      flow::AllocatorOptions alloc_options;
+      alloc_options.threads = options.threads;
+      sub_alloc = flow::max_min_allocate(view, expansion.paths,
+                                         expansion.demand_bps, alloc_options);
+    }
+
+    TrafficReport report;
+    report.pairs = flow::multipath_pair_outcomes(
+        view, expansion, demands, sub_alloc,
+        [this](std::uint32_t s, std::uint32_t t) {
+          return input_.geodesic_km(s, t);
+        });
+    const flow::Allocation folded = flow::fold_subflows(expansion, sub_alloc);
+    const flow::FlowLevelStats stats =
+        flow::summarize(view, report.pairs, folded);
+
+    report.stats.backend = backend_;
+    report.stats.flows = stats.flows;
+    report.stats.users = stats.users;
+    report.stats.offered_bps = stats.offered_bps;
+    report.stats.delivered_bps = stats.delivered_bps;
+    report.stats.loss_rate = stats.loss_rate;
+    report.stats.mean_delay_s = stats.mean_delay_s;
+    report.stats.mean_stretch = stats.mean_stretch;
+    report.stats.max_stretch = stats.max_stretch;
+    report.stats.mean_link_utilization = stats.mean_link_utilization;
+    report.stats.max_link_utilization = stats.max_link_utilization;
+    report.stats.mean_path_latency_s = routes.mean_path_latency_s;
+    report.stats.predicted_max_utilization = routes.max_link_utilization;
+    report.stats.allocation_rounds = stats.allocation_rounds;
+    return report;
+  }
+
   TrafficBackend backend_;
   const design::DesignInput& input_;
   const design::CapacityPlan& plan_;

@@ -77,6 +77,16 @@ struct TrafficRunOptions {
   /// `scheme` is ignored. Must outlive the run; the packet backend
   /// rejects it.
   const std::vector<graphs::Path>* paths = nullptr;
+  /// TE multipath route override (fluid backends only): one WEIGHTED path
+  /// set per demand-matrix pair over the run's plan, as produced by
+  /// te::solve_splits. Pairs expand into per-path subflows (rate * weight
+  /// offered each; elastic utility weights scale by the split so per-user
+  /// fairness is split-invariant), the unchanged allocators run over the
+  /// subflows, and results fold back to pair grain. An EMPTY set denies
+  /// the pair (counted, delivered zero). When set, `scheme` is ignored;
+  /// mutually exclusive with `paths`. Must outlive the run; the packet
+  /// backend rejects it.
+  const MultipathRouteSet* route_set = nullptr;
   /// Per-duplex-link capacity derate factors in [0, 1] over the run's
   /// plan (control::RouteRepairer::capacity_factors(): weather-derated
   /// links < 1, downed links 0 — the paths override already avoids the

@@ -157,6 +157,32 @@ TEST(Yen, PathsAreLooplessAndSorted) {
   }
 }
 
+TEST(Yen, UnreachableTargetReturnsEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_TRUE(yen_ksp(g, 0, 2, 4).empty());
+}
+
+TEST(Yen, RejectsZeroK) {
+  const Graph g = diamond();
+  EXPECT_THROW(yen_ksp(g, 0, 3, 0), cisp::Error);
+}
+
+TEST(Yen, MaskedEdgesAreInvisibleToEveryAlternative) {
+  const Graph g = diamond();
+  // Disable both arcs of the 0-1 edge (ids 0 and 1): every path through
+  // node 1 must vanish, not just the shortest.
+  const auto mask = [](EdgeId e) { return e > 1; };
+  const auto paths = yen_ksp(g, 0, 3, 5, mask);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_DOUBLE_EQ(paths[0].length, 4.0);
+  EXPECT_EQ(paths[1].nodes, (std::vector<NodeId>{0, 3}));
+  for (const auto& p : paths) {
+    for (const NodeId v : p.nodes) EXPECT_NE(v, 1u);
+  }
+}
+
 TEST(NodeDisjoint, ParallelChainsFoundInLengthOrder) {
   // Three node-disjoint chains of lengths 2, 3, 4 between 0 and 9.
   Graph g(10);
@@ -184,6 +210,13 @@ TEST(NodeDisjoint, ParallelChainsFoundInLengthOrder) {
   std::sort(interior.begin(), interior.end());
   EXPECT_TRUE(std::adjacent_find(interior.begin(), interior.end()) ==
               interior.end());
+}
+
+TEST(NodeDisjoint, DisconnectedEndpointsReturnEmpty) {
+  Graph g(4);
+  g.add_undirected(0, 1, 1.0);
+  g.add_undirected(2, 3, 1.0);
+  EXPECT_TRUE(node_disjoint_paths(g, 0, 3, 3).empty());
 }
 
 TEST(MaxFlow, ClassicTextbookInstance) {
@@ -286,6 +319,31 @@ TEST(Mcf, PrimaryPathsConnectEndpoints) {
   ASSERT_FALSE(result.primary_path[0].empty());
   EXPECT_EQ(result.primary_path[0].nodes.front(), 0u);
   EXPECT_EQ(result.primary_path[0].nodes.back(), 3u);
+}
+
+TEST(Mcf, AsymmetricBranchesCarryProportionalFlow) {
+  // 0 -> 1 -> 3 at capacity 1 in parallel with 0 -> 2 -> 3 at capacity 3:
+  // max flow is 4, so a demand of 4 has optimal lambda 1. The primary
+  // (largest-share) path must take the fat branch.
+  Graph g(4);
+  const EdgeId thin = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  const EdgeId fat = g.add_edge(0, 2, 3.0);
+  g.add_edge(2, 3, 3.0);
+  const auto result = max_concurrent_flow(g, {{0, 3, 4.0}}, 0.05);
+  EXPECT_GT(result.lambda, 0.85);
+  EXPECT_LE(result.lambda, 1.0 + 1e-9);
+  ASSERT_EQ(result.flow.size(), 1u);
+  EXPECT_GT(result.flow[0][fat], result.flow[0][thin]);
+  ASSERT_EQ(result.primary_path.size(), 1u);
+  EXPECT_EQ(result.primary_path[0].nodes, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(Mcf, DisconnectedCommodityThrows) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_THROW(max_concurrent_flow(g, {{0, 3, 1.0}}, 0.1), cisp::Error);
 }
 
 TEST(Mcf, RejectsBadInput) {
